@@ -1,0 +1,83 @@
+// Ablation: the Message Scheduler (Algorithm 1) against two degenerate
+// policies. "Without the scheduling strategy, the proposed framework
+// would consume more energy than the original system and lose the
+// signaling-saving feature" (Section III-C) — this bench quantifies it.
+//
+//   algorithm1 — delay own heartbeat up to T, batch everything.
+//   immediate  — forward each message in its own cellular connection
+//                (own delay ~0, capacity 1).
+//   fixed5s    — classic Nagle-style 5 s timer instead of the
+//                expiry-aware window.
+//
+// UEs are staggered 7 s apart so the policies actually differ.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/compressed_pair.hpp"
+
+int main() {
+  using namespace d2dhb;
+  using namespace d2dhb::scenario;
+  bench::print_header(
+      "Ablation: Algorithm 1 vs naive scheduling (relay + 3 UEs, "
+      "staggered arrivals, 6 transmissions)",
+      "the scheduling strategy is what preserves the signaling- and "
+      "energy-saving features");
+
+  auto base = [] {
+    CompressedPairConfig config;
+    config.num_ues = 3;
+    config.transmissions = 6;
+    config.ue_offset_spread_s = 7.0;
+    config.period_s = 40.0;  // roomier periods for the staggered arrivals
+    return config;
+  };
+
+  const PairMetrics original = run_original_pair(base());
+
+  CompressedPairConfig algo1 = base();
+  const PairMetrics a1 = run_d2d_pair(algo1);
+
+  CompressedPairConfig immediate = base();
+  immediate.own_delay_s = 0.1;
+  immediate.capacity = 1;
+  const PairMetrics imm = run_d2d_pair(immediate);
+
+  CompressedPairConfig fixed = base();
+  fixed.own_delay_s = 5.0;
+  const PairMetrics f5 = run_d2d_pair(fixed);
+
+  Table table{{"Policy", "Cellular bundles", "Mean bundle size",
+               "System L3", "L3 vs original", "Relay uAh", "System uAh",
+               "Mean delay (s)"}};
+  auto row = [&](const std::string& name, const PairMetrics& m) {
+    const double l3_change =
+        static_cast<double>(m.system_l3) /
+            static_cast<double>(original.system_l3) -
+        1.0;
+    table.add_row({name, std::to_string(m.bundles),
+                   Table::num(m.mean_bundle_size, 2),
+                   std::to_string(m.system_l3), bench::pct(l3_change),
+                   Table::num(m.relay_uah, 0), Table::num(m.system_uah, 0),
+                   Table::num(m.server.mean_latency_s(), 1)});
+  };
+  row("original (no D2D)", original);
+  row("algorithm1 (paper)", a1);
+  row("immediate forward", imm);
+  row("fixed 5s window", f5);
+  bench::emit(table, "ablation_scheduler");
+
+  std::cout << "\nTakeaways:\n"
+            << "  * immediate forwarding burns one RRC cycle per message "
+               "at the relay — the\n    signaling saving disappears and "
+               "the relay pays for everyone.\n"
+            << "  * the fixed window batches only what lands within 5 s; "
+               "stragglers ride the\n    expiry path and aggregation "
+               "degrades.\n"
+            << "  * Algorithm 1 keeps one cellular connection per period "
+               "while meeting every\n    expiration deadline (late "
+               "deliveries: "
+            << a1.server.late << ").\n";
+  return 0;
+}

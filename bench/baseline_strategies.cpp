@@ -1,0 +1,56 @@
+// Related-work strategy comparison (Sections I & VI): the alternative
+// heartbeat-reduction strategies the paper argues against, implemented
+// and measured under identical mixed IM traffic (heartbeats + chat
+// data). The D2D framework is the only strategy that cuts signaling
+// AND energy without degrading offline detection.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/baselines.hpp"
+
+int main() {
+  using namespace d2dhb;
+  using namespace d2dhb::scenario;
+  bench::print_header(
+      "Baseline strategies (12 phones, WeChat-like mixed traffic, 1 h)",
+      "period extension hurts instantaneity; piggybacking helps only "
+      "when data flows; fast dormancy saves energy but aggravates "
+      "signaling; D2D improves both");
+
+  BaselineConfig config;
+  const auto strategies = run_all_strategies(config);
+  const StrategyMetrics& original = strategies.front();
+
+  Table table{{"Strategy", "L3 msgs", "vs orig", "Radio uAh", "vs orig",
+               "Mean delay (s)", "Offline detect (s)", "Notes"}};
+  auto rel = [](double value, double base) {
+    if (base == 0.0) return std::string("-");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", (value - base) / base * 100.0);
+    return std::string(buf);
+  };
+  for (const StrategyMetrics& s : strategies) {
+    table.add_row({s.name, std::to_string(s.total_l3),
+                   rel(static_cast<double>(s.total_l3),
+                       static_cast<double>(original.total_l3)),
+                   Table::num(s.total_radio_uah, 0),
+                   rel(s.total_radio_uah, original.total_radio_uah),
+                   Table::num(s.mean_latency_s, 1),
+                   Table::num(s.offline_detection_s, 0), s.note});
+  }
+  bench::emit(table, "baseline_strategies");
+
+  std::cout
+      << "\nReading the table:\n"
+      << "  * period x2 halves transmissions but doubles how long a dead "
+         "client goes\n    unnoticed (the instantaneity cost app vendors "
+         "refuse to pay, Section III).\n"
+      << "  * piggybacking rides data transfers; its gains are capped by "
+         "how often data\n    happens to flow.\n"
+      << "  * fast dormancy kills the energy tails but every transmission "
+         "now pays a\n    fresh RRC setup (more signaling, not less).\n"
+      << "  * the D2D framework cuts both axes at unchanged offline "
+         "detection.\n";
+  return 0;
+}

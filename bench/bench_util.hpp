@@ -1,0 +1,47 @@
+// Shared helpers for the reproduction benches: consistent headers and
+// paper-vs-measured annotations.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace d2dhb::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_says) {
+  std::cout << "\n=================================================="
+               "==============\n"
+            << experiment << '\n'
+            << "Paper reports: " << paper_says << '\n'
+            << "=================================================="
+               "==============\n";
+}
+
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+/// Prints the table and, when the environment variable D2DHB_CSV_DIR is
+/// set, also writes `<dir>/<name>.csv` so results can be post-processed
+/// (plotting, regression tracking).
+inline void emit(const Table& table, const std::string& name) {
+  table.print(std::cout);
+  const char* dir = std::getenv("D2DHB_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  table.write_csv(out);
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+}  // namespace d2dhb::bench

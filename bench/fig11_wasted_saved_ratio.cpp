@@ -1,0 +1,49 @@
+// Fig. 11 — ratio of the energy the relay wastes (vs its original-system
+// self) to the energy the UEs save, across connection lifetimes and UE
+// counts. The paper reports a drop from ~97% to ~5%; with Table IV's
+// per-message receive cost the asymptote here is ~25-35% (see
+// EXPERIMENTS.md for the discussion of the paper's internal tension).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/compressed_pair.hpp"
+
+int main() {
+  using namespace d2dhb;
+  using namespace d2dhb::scenario;
+  bench::print_header(
+      "Fig. 11: wasted (relay) / saved (UEs) energy ratio",
+      "drops from ~97% (short connections) to ~5% (7 UEs, long "
+      "connections)");
+
+  const std::size_t ue_counts[] = {1, 3, 5, 7};
+  Table table{{"Tx", "1 UE", "3 UEs", "5 UEs", "7 UEs"}};
+  AsciiChart chart{"Fig. 11: wasted/saved (%)", "transmission times",
+                   "wasted / saved (%)"};
+  std::vector<Series> series;
+  for (const std::size_t m : ue_counts) {
+    series.push_back(
+        Series{"Relay with " + std::to_string(m) + " UE(s)", {}, {}});
+  }
+
+  for (std::size_t k = 1; k <= 8; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t i = 0; i < 4; ++i) {
+      CompressedPairConfig config;
+      config.num_ues = ue_counts[i];
+      config.capacity = 8;
+      config.transmissions = k;
+      const Savings s =
+          compare(run_original_pair(config), run_d2d_pair(config));
+      row.push_back(bench::pct(s.wasted_over_saved));
+      series[i].xs.push_back(static_cast<double>(k));
+      series[i].ys.push_back(100.0 * s.wasted_over_saved);
+    }
+    table.add_row(row);
+  }
+  bench::emit(table, "fig11_wasted_saved_ratio");
+  for (auto& s : series) chart.add(std::move(s));
+  chart.print(std::cout);
+  return 0;
+}

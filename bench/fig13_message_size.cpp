@@ -1,0 +1,48 @@
+// Fig. 13 — energy consumption vs heartbeat size (1x..5x the 54 B
+// standard): "the energy consumption stays almost constant".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/compressed_pair.hpp"
+
+int main() {
+  using namespace d2dhb;
+  using namespace d2dhb::scenario;
+  bench::print_header(
+      "Fig. 13: energy vs message size (1x..5x of 54 B standard)",
+      "UE / relay / original energies stay almost constant across sizes");
+
+  Table table{{"Size", "Bytes", "UE (uAh)", "Relay (uAh)",
+               "Original sys/phone (uAh)"}};
+  Series ue{"UE", {}, {}};
+  Series relay{"Relay", {}, {}};
+  Series orig{"Original system", {}, {}};
+  int multiple = 1;
+  for (const std::uint32_t bytes : {54u, 108u, 162u, 216u, 270u}) {
+    CompressedPairConfig config;
+    config.heartbeat_bytes = bytes;
+    config.transmissions = 4;
+    const PairMetrics d2d = run_d2d_pair(config);
+    const PairMetrics o = run_original_pair(config);
+    const double x = static_cast<double>(multiple);
+    table.add_row({std::to_string(multiple) + "X", std::to_string(bytes),
+                   Table::num(d2d.ue_uah_total, 1),
+                   Table::num(d2d.relay_uah, 1),
+                   Table::num(o.system_uah / 2.0, 1)});
+    ue.xs.push_back(x);
+    ue.ys.push_back(d2d.ue_uah_total);
+    relay.xs.push_back(x);
+    relay.ys.push_back(d2d.relay_uah);
+    orig.xs.push_back(x);
+    orig.ys.push_back(o.system_uah / 2.0);
+    ++multiple;
+  }
+  bench::emit(table, "fig13_message_size");
+
+  AsciiChart chart{"Fig. 13: energy vs message size",
+                   "message size (multiples of 54 B)", "energy (uAh)"};
+  chart.add(ue).add(relay).add(orig);
+  chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figs. 6 & 7 — instant current (0.1 s sampling) while sending the same
+// heartbeat over D2D (Wi-Fi Direct) vs cellular (full RRC cycle).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/probes.hpp"
+
+int main() {
+  using namespace d2dhb;
+  bench::print_header(
+      "Figs. 6 & 7: instant current during one heartbeat transfer",
+      "D2D: brief spike, rapid descent (~2.5 s window); cellular: spike "
+      "that lasts (~8 s window)");
+
+  const scenario::TraceResult d2d = scenario::trace_d2d_transfer();
+  const scenario::TraceResult cell = scenario::trace_cellular_transfer();
+
+  AsciiChart fig6{"Fig. 6: D2D transfer", "time (s)", "current (mA)"};
+  fig6.add(d2d.series);
+  fig6.print(std::cout);
+
+  AsciiChart fig7{"Fig. 7: cellular transfer", "time (s)", "current (mA)"};
+  fig7.add(cell.series);
+  fig7.print(std::cout);
+
+  Table summary{{"Transfer", "Peak (mA)", "Window (s)",
+                 "Radio charge (uAh)"}};
+  summary.add_row({"D2D (Wi-Fi Direct)", Table::num(d2d.peak_ma, 0),
+                   Table::num(d2d.window_s, 1), Table::num(d2d.charge_uah)});
+  summary.add_row({"Cellular (WCDMA)", Table::num(cell.peak_ma, 0),
+                   Table::num(cell.window_s, 1),
+                   Table::num(cell.charge_uah)});
+  bench::emit(summary, "fig6_7_summary");
+
+  // Raw 0.1 s samples, plottable directly.
+  Table trace{{"time_s", "d2d_mA", "cellular_mA"}};
+  const std::size_t n =
+      std::max(d2d.series.xs.size(), cell.series.xs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.add_row(
+        {Table::num(0.1 * static_cast<double>(i), 1),
+         i < d2d.series.ys.size() ? Table::num(d2d.series.ys[i], 1) : "",
+         i < cell.series.ys.size() ? Table::num(cell.series.ys[i], 1)
+                                   : ""});
+  }
+  if (const char* dir = std::getenv("D2DHB_CSV_DIR");
+      dir != nullptr && *dir != '\0') {
+    std::ofstream out(std::string(dir) + "/fig6_7_trace_samples.csv");
+    if (out) {
+      trace.write_csv(out);
+      std::cout << "(trace samples csv written to " << dir
+                << "/fig6_7_trace_samples.csv)\n";
+    }
+  }
+  std::cout << "\nShape check: the D2D episode finishes in under a second; "
+               "the cellular episode\nholds elevated current through "
+               "promotion, burst, DCH and FACH tails (~7 s),\ncosting "
+            << Table::num(cell.charge_uah / d2d.charge_uah, 1)
+            << "x the charge per heartbeat.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Multi-cell storm relief: the control channel is a per-cell resource;
+// this bench shows the framework relieving each cell's synchronized
+// storm peak independently across a 2×2 cell grid.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/crowd.hpp"
+
+int main() {
+  using namespace d2dhb;
+  using namespace d2dhb::scenario;
+  bench::print_header(
+      "Multi-cell synchronized storm (2x2 cells, 64 phones, 30 min)",
+      "signaling storm is per control channel — aggregation relieves "
+      "every cell's peak");
+
+  CrowdConfig config;
+  config.phones = 64;
+  config.relay_fraction = 0.25;
+  config.area_m = 160.0;
+  config.clusters = 4;
+  config.cluster_stddev_m = 10.0;
+  config.duration_s = 1800.0;
+  config.stagger_fraction = 0.02;  // near-synchronized heartbeats
+  config.cell_grid = 4;
+  config.operator_policy = core::SelectionPolicy::coverage_greedy;
+
+  const CrowdMetrics d2d = run_d2d_crowd(config);
+  const CrowdMetrics orig = run_original_crowd(config);
+
+  Table table{{"Cell", "Original L3", "D2D L3", "Saved"}};
+  for (std::size_t c = 0; c < orig.l3_per_cell.size(); ++c) {
+    const double saved =
+        orig.l3_per_cell[c] == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(d2d.l3_per_cell[c]) /
+                        static_cast<double>(orig.l3_per_cell[c]);
+    table.add_row({"cell " + std::to_string(c),
+                   std::to_string(orig.l3_per_cell[c]),
+                   std::to_string(d2d.l3_per_cell[c]), bench::pct(saved)});
+  }
+  table.add_row({"TOTAL", std::to_string(orig.total_l3),
+                 std::to_string(d2d.total_l3),
+                 bench::pct(1.0 - static_cast<double>(d2d.total_l3) /
+                                      static_cast<double>(orig.total_l3))});
+  bench::emit(table, "multicell_storm");
+
+  std::cout << "\nWorst-cell storm peak (L3 per 10 s): original "
+            << orig.peak_l3_per_10s << " vs D2D " << d2d.peak_l3_per_10s
+            << "\nOperator relay coverage: "
+            << bench::pct(d2d.relay_coverage) << "\n";
+  return 0;
+}

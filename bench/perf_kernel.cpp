@@ -1,0 +1,78 @@
+// Runtime microbenchmarks (google-benchmark) of the simulation substrate
+// and the full experiment pipeline — how fast the reproduction itself
+// runs, not a paper metric.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.hpp"
+#include "scenario/compressed_pair.hpp"
+#include "scenario/crowd.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace d2dhb;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_after(microseconds((i * 37) % 1000 + 1), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SchedulerCollectFlush(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t flushed = 0;
+    core::MessageScheduler::Params params;
+    params.capacity = 7;
+    core::MessageScheduler sched{
+        sim, params,
+        [&](std::vector<net::HeartbeatMessage> batch, core::FlushReason) {
+          flushed += batch.size();
+        }};
+    net::HeartbeatMessage m;
+    m.origin = NodeId{1};
+    m.expiry = seconds(270);
+    m.period = seconds(270);
+    for (int i = 0; i < 1000; ++i) {
+      m.id = MessageId{static_cast<std::uint64_t>(i + 1)};
+      m.created_at = sim.now();
+      sched.collect(m);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(flushed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCollectFlush);
+
+void BM_CompressedPairExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::CompressedPairConfig config;
+    config.num_ues = static_cast<std::size_t>(state.range(0));
+    config.transmissions = 8;
+    const auto metrics = scenario::run_d2d_pair(config);
+    benchmark::DoNotOptimize(metrics.system_uah);
+  }
+}
+BENCHMARK(BM_CompressedPairExperiment)->Arg(1)->Arg(7);
+
+void BM_CrowdHourSimulated(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::CrowdConfig config;
+    config.phones = static_cast<std::size_t>(state.range(0));
+    config.duration_s = 3600.0;
+    const auto metrics = scenario::run_d2d_crowd(config);
+    benchmark::DoNotOptimize(metrics.total_l3);
+  }
+}
+BENCHMARK(BM_CrowdHourSimulated)->Arg(24)->Arg(96)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Table IV — energy consumed by the relay receiving 1..7 forwarded
+// heartbeats over D2D: "an approximate linear relationship between the
+// energy consumption of receiving data and the number of connected UEs".
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "scenario/probes.hpp"
+
+int main() {
+  using namespace d2dhb;
+  bench::print_header(
+      "Table IV: energy consumption in D2D receiving (uAh, cumulative)",
+      "123.22 252.40 386.11 517.97 655.82 791.18 911.20 (~linear)");
+
+  const std::vector<double> measured = scenario::measure_receive_energy(7);
+  const std::vector<double> paper{123.22, 252.40, 386.106, 517.97,
+                                  655.82, 791.178, 911.196};
+
+  Table table{{"Times", "Paper (uAh)", "Measured (uAh)"}};
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    xs.push_back(static_cast<double>(i + 1));
+    table.add_row({std::to_string(i + 1), Table::num(paper[i]),
+                   Table::num(measured[i])});
+  }
+  bench::emit(table, "table4_receive_energy");
+
+  const LinearFit paper_fit = fit_linear(xs, paper);
+  const LinearFit measured_fit = fit_linear(xs, measured);
+  std::cout << "\nLinear fit (paper):    slope=" << Table::num(paper_fit.slope)
+            << " uAh/msg, R^2=" << Table::num(paper_fit.r_squared, 4) << '\n';
+  std::cout << "Linear fit (measured): slope="
+            << Table::num(measured_fit.slope)
+            << " uAh/msg, R^2=" << Table::num(measured_fit.r_squared, 4)
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Operator planning: a venue operator sizing a relay deployment.
+//
+// A 2x2-cell venue hosts a clustered crowd. The operator sweeps the
+// relay budget under coverage-greedy selection and reads off the
+// trade-off: how many volunteers must be drafted (and paid credits) to
+// hit a target control-channel relief.
+//
+//   $ ./operator_planning
+#include <iostream>
+
+#include "common/table.hpp"
+#include "scenario/crowd.hpp"
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+int main() {
+  CrowdConfig base;
+  base.phones = 60;
+  base.area_m = 150.0;
+  base.clusters = 4;
+  base.cluster_stddev_m = 9.0;
+  base.duration_s = 2700.0;  // 45 minutes
+  base.cell_grid = 4;
+  base.operator_policy = core::SelectionPolicy::coverage_greedy;
+  base.app = apps::wechat();
+
+  std::cout << "Venue: " << base.phones
+            << " phones, four stands, 2x2 cells, 45 min of WeChat "
+               "heartbeats.\nOperator drafts relays greedily by coverage "
+               "and pays 1 credit per forwarded heartbeat.\n\n";
+
+  const CrowdMetrics orig = run_original_crowd(base);
+  std::cout << "Without the framework: " << orig.total_l3
+            << " L3 messages, worst-cell peak " << orig.peak_l3_per_10s
+            << " per 10 s.\n\n";
+
+  Table table{{"Relay budget", "Relays", "Coverage", "L3 saved",
+               "Worst-cell peak", "Credits owed", "Offline"}};
+  for (const double fraction : {0.05, 0.10, 0.20, 0.30}) {
+    CrowdConfig config = base;
+    config.relay_fraction = fraction;
+    const CrowdMetrics m = run_d2d_crowd(config);
+    const double saved = 1.0 - static_cast<double>(m.total_l3) /
+                                   static_cast<double>(orig.total_l3);
+    char budget[16];
+    std::snprintf(budget, sizeof(budget), "%.0f%%", fraction * 100);
+    char coverage[16];
+    std::snprintf(coverage, sizeof(coverage), "%.0f%%",
+                  m.relay_coverage * 100);
+    char saved_s[16];
+    std::snprintf(saved_s, sizeof(saved_s), "%.1f%%", saved * 100);
+    table.add_row({budget, std::to_string(m.relays), coverage, saved_s,
+                   std::to_string(m.peak_l3_per_10s),
+                   Table::num(m.credits_issued, 0),
+                   std::to_string(m.server.offline_events)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the sweep: coverage (and the signaling relief "
+               "that follows it)\nsaturates once every cluster has a "
+               "relay — past that point extra budget only\nbuys credits "
+               "the operator needn't spend.\n";
+  return 0;
+}

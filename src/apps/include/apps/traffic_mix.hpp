@@ -1,0 +1,50 @@
+// Mixed heartbeat + data traffic generator, used to reproduce Table I's
+// heartbeat-share measurement: heartbeats fire on the app's period, data
+// messages arrive as a Poisson process whose rate follows the app's
+// measured heartbeat share.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "apps/app_profile.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::apps {
+
+class MixedTrafficGenerator {
+ public:
+  enum class Kind { heartbeat, data };
+  using Sink = std::function<void(Kind, Bytes)>;
+
+  MixedTrafficGenerator(sim::Simulator& sim, AppProfile profile, Rng rng,
+                        Sink sink);
+
+  void start();
+  void stop();
+
+  std::uint64_t heartbeats() const { return heartbeats_; }
+  std::uint64_t data_messages() const { return data_; }
+  /// Observed heartbeat share so far.
+  double heartbeat_share() const;
+
+  /// Data-message rate (per second) implied by the profile's heartbeat
+  /// share: share = hb_rate / (hb_rate + data_rate).
+  double data_rate_per_second() const;
+
+ private:
+  void schedule_next_data();
+
+  sim::Simulator& sim_;
+  AppProfile profile_;
+  Rng rng_;
+  Sink sink_;
+  sim::PeriodicTimer heartbeat_timer_;
+  sim::EventId pending_data_{};
+  bool running_{false};
+  std::uint64_t heartbeats_{0};
+  std::uint64_t data_{0};
+};
+
+}  // namespace d2dhb::apps

@@ -1,0 +1,31 @@
+#include "apps/app_profile.hpp"
+
+namespace d2dhb::apps {
+
+AppProfile wechat() {
+  return AppProfile{"WeChat", seconds(270), Bytes{74}, 0.50, seconds(270)};
+}
+
+AppProfile qq() {
+  return AppProfile{"QQ", seconds(300), Bytes{378}, 0.526, seconds(300)};
+}
+
+AppProfile whatsapp() {
+  return AppProfile{"WhatsApp", seconds(240), Bytes{66}, 0.619, seconds(240)};
+}
+
+AppProfile facebook() {
+  // Period/size are not reported in the paper; MQTT's default keepalive
+  // (300 s) and a typical PINGREQ-over-TLS wire size stand in.
+  return AppProfile{"Facebook", seconds(300), Bytes{90}, 0.484, seconds(300)};
+}
+
+AppProfile standard_app() {
+  return AppProfile{"Standard", seconds(270), Bytes{54}, 0.50, seconds(270)};
+}
+
+std::vector<AppProfile> popular_apps() {
+  return {wechat(), whatsapp(), qq(), facebook()};
+}
+
+}  // namespace d2dhb::apps

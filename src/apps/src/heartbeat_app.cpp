@@ -1,0 +1,52 @@
+#include "apps/heartbeat_app.hpp"
+
+#include <utility>
+
+namespace d2dhb::apps {
+
+HeartbeatApp::HeartbeatApp(sim::Simulator& sim, NodeId node, AppId app,
+                           AppProfile profile,
+                           IdGenerator<MessageId>& message_ids, Sink sink)
+    : sim_(sim),
+      node_(node),
+      app_(app),
+      profile_(std::move(profile)),
+      message_ids_(message_ids),
+      sink_(std::move(sink)),
+      timer_(sim, profile_.heartbeat_period, [this] {
+        if (max_emissions_ != 0 && emitted_ >= max_emissions_) {
+          timer_.stop();
+          return;
+        }
+        sink_(make_message());
+        if (max_emissions_ != 0 && emitted_ >= max_emissions_) timer_.stop();
+      }) {}
+
+void HeartbeatApp::start(Duration offset) {
+  timer_.start_after(offset == Duration::zero() ? profile_.heartbeat_period
+                                                : offset);
+}
+
+void HeartbeatApp::stop() { timer_.stop(); }
+
+net::HeartbeatMessage HeartbeatApp::make_message() {
+  net::HeartbeatMessage m;
+  m.id = message_ids_.next();
+  m.origin = node_;
+  m.app = app_;
+  m.app_name = profile_.name;
+  m.size = profile_.heartbeat_size;
+  m.period = profile_.heartbeat_period;
+  m.expiry = profile_.expiry;
+  m.created_at = sim_.now();
+  m.seq = ++emitted_;
+  return m;
+}
+
+net::HeartbeatMessage HeartbeatApp::emit_now() {
+  net::HeartbeatMessage m = make_message();
+  sink_(m);
+  return m;
+}
+
+}  // namespace d2dhb::apps

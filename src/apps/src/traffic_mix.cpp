@@ -1,0 +1,61 @@
+#include "apps/traffic_mix.hpp"
+
+#include <utility>
+
+namespace d2dhb::apps {
+
+MixedTrafficGenerator::MixedTrafficGenerator(sim::Simulator& sim,
+                                             AppProfile profile, Rng rng,
+                                             Sink sink)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      rng_(rng),
+      sink_(std::move(sink)),
+      heartbeat_timer_(sim, profile_.heartbeat_period, [this] {
+        ++heartbeats_;
+        sink_(Kind::heartbeat, profile_.heartbeat_size);
+      }) {}
+
+double MixedTrafficGenerator::data_rate_per_second() const {
+  const double hb_rate = 1.0 / to_seconds(profile_.heartbeat_period);
+  const double share = profile_.heartbeat_share;
+  // share = hb / (hb + data)  =>  data = hb * (1 - share) / share.
+  return hb_rate * (1.0 - share) / share;
+}
+
+void MixedTrafficGenerator::start() {
+  running_ = true;
+  heartbeat_timer_.start();
+  schedule_next_data();
+}
+
+void MixedTrafficGenerator::stop() {
+  running_ = false;
+  heartbeat_timer_.stop();
+  if (pending_data_.valid()) sim_.cancel(pending_data_);
+  pending_data_ = {};
+}
+
+void MixedTrafficGenerator::schedule_next_data() {
+  const double rate = data_rate_per_second();
+  if (rate <= 0.0) return;
+  const double gap_s = rng_.exponential(1.0 / rate);
+  pending_data_ = sim_.schedule_after(seconds(gap_s), [this] {
+    pending_data_ = {};
+    if (!running_) return;
+    ++data_;
+    // Data payload size: chat-like, a few hundred bytes.
+    sink_(Kind::data, Bytes{static_cast<std::uint32_t>(
+                          rng_.uniform_int(120, 900))});
+    schedule_next_data();
+  });
+}
+
+double MixedTrafficGenerator::heartbeat_share() const {
+  const std::uint64_t total = heartbeats_ + data_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(heartbeats_) /
+                          static_cast<double>(total);
+}
+
+}  // namespace d2dhb::apps

@@ -1,0 +1,43 @@
+// Leveled logging to stderr. Off above `warn` by default so tests and
+// benches stay quiet; scenarios can raise verbosity for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace d2dhb {
+
+enum class LogLevel { trace, debug, info, warn, error, off };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Streams a single log record; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace d2dhb
+
+#define D2DHB_LOG(level) ::d2dhb::LogLine(::d2dhb::LogLevel::level)

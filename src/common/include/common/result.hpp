@@ -1,0 +1,87 @@
+// Minimal expected-style result type (std::expected is C++23; this build
+// targets C++20). Errors carry a category and a human-readable message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace d2dhb {
+
+enum class Errc {
+  ok,
+  not_found,
+  out_of_range,
+  capacity_exceeded,
+  disconnected,
+  expired,
+  timeout,
+  invalid_state,
+  rejected,
+};
+
+/// Returns a stable lowercase name for an error code.
+const char* to_string(Errc e);
+
+struct Error {
+  Errc code{Errc::ok};
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+  Result(Errc code, std::string message = {})           // NOLINT(implicit)
+      : data_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+  Status(Errc code, std::string message = {})        // NOLINT(implicit)
+      : error_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return error_.code == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+
+  static Status success() { return Status{}; }
+
+ private:
+  Error error_{};
+};
+
+}  // namespace d2dhb

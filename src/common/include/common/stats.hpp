@@ -1,0 +1,63 @@
+// Lightweight statistics helpers used by metric collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace d2dhb {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Least-squares fit y = slope·x + intercept. Used to check the paper's
+/// "approximately linear relationship" claims (e.g. Table IV).
+struct LinearFit {
+  double slope{0.0};
+  double intercept{0.0};
+  double r_squared{0.0};
+};
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Exact percentile over a copy of the samples (p in [0, 100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace d2dhb

@@ -1,0 +1,56 @@
+// Result presentation: aligned ASCII tables, CSV export, and a small
+// ASCII line chart. Benches use these to print the same rows/series the
+// paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace d2dhb {
+
+/// Column-aligned table with a header row. Cells are strings; numeric
+/// helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series of (x, y) points for AsciiChart.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders series as a fixed-size ASCII scatter/line chart, one glyph per
+/// series. Good enough to eyeball the shape of each reproduced figure.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label);
+
+  AsciiChart& add(Series series);
+  void print(std::ostream& os, int width = 72, int height = 20) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace d2dhb

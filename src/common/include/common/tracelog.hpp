@@ -1,0 +1,79 @@
+// Structured event tracing.
+//
+// A ring buffer of (time, category, node, message) records that the
+// substrates emit at interesting moments — RRC transitions, D2D link
+// changes, scheduler flushes, fallbacks. Off by default (near-zero
+// overhead); scenarios and tests enable it to observe or assert on the
+// sequence of events. Single-threaded by design, like the simulator.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/id.hpp"
+#include "common/units.hpp"
+
+namespace d2dhb {
+
+enum class TraceCategory : std::uint8_t {
+  rrc,        ///< Cellular state machine transitions.
+  d2d,        ///< Wi-Fi Direct link lifecycle and transfers.
+  scheduler,  ///< Message Scheduler windows and flushes.
+  agent,      ///< Role-level decisions (match, fallback, retire).
+  kCount,
+};
+
+const char* to_string(TraceCategory category);
+
+struct TraceEvent {
+  TimePoint when;
+  TraceCategory category;
+  NodeId node;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  /// Oldest events are dropped beyond the capacity.
+  explicit TraceLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(TimePoint when, TraceCategory category, NodeId node,
+              std::string message);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  std::size_t count(TraceCategory category) const {
+    return counts_[static_cast<std::size_t>(category)];
+  }
+  /// Events for one node, in order.
+  std::deque<TraceEvent> for_node(NodeId node) const;
+
+  /// Human-readable dump (optionally only one category).
+  void print(std::ostream& os) const;
+  void print(std::ostream& os, TraceCategory category) const;
+
+ private:
+  bool enabled_{false};
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::size_t counts_[static_cast<std::size_t>(TraceCategory::kCount)]{};
+  std::size_t dropped_{0};
+};
+
+/// Process-wide trace instance the substrates write to. Simulations are
+/// single-threaded; swap/clear it between runs.
+TraceLog& global_trace();
+
+/// Convenience: records into global_trace() if it is enabled.
+void trace(TimePoint when, TraceCategory category, NodeId node,
+           std::string message);
+
+}  // namespace d2dhb

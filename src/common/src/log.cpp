@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace d2dhb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace d2dhb

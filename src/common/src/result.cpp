@@ -1,0 +1,20 @@
+#include "common/result.hpp"
+
+namespace d2dhb {
+
+const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::capacity_exceeded: return "capacity_exceeded";
+    case Errc::disconnected: return "disconnected";
+    case Errc::expired: return "expired";
+    case Errc::timeout: return "timeout";
+    case Errc::invalid_state: return "invalid_state";
+    case Errc::rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace d2dhb

@@ -1,0 +1,138 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace d2dhb {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != header count");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 != row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+AsciiChart& AsciiChart::add(Series series) {
+  series_.push_back(std::move(series));
+  return *this;
+}
+
+void AsciiChart::print(std::ostream& os, int width, int height) const {
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool first = true;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (first) {
+        xmin = xmax = s.xs[i];
+        ymin = ymax = s.ys[i];
+        first = false;
+      } else {
+        xmin = std::min(xmin, s.xs[i]);
+        xmax = std::max(xmax, s.xs[i]);
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const auto cx = static_cast<long>(std::lround(
+          (s.xs[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const auto cy = static_cast<long>(std::lround(
+          (s.ys[i] - ymin) / (ymax - ymin) * (height - 1)));
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  os << "y: " << y_label_ << "  [" << ymin << " .. " << ymax << "]\n";
+  for (const auto& line : grid) os << "  |" << line << "|\n";
+  os << "x: " << x_label_ << "  [" << xmin << " .. " << xmax << "]\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series_[si].name
+       << '\n';
+  }
+}
+
+}  // namespace d2dhb

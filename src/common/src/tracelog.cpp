@@ -1,0 +1,74 @@
+#include "common/tracelog.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace d2dhb {
+
+const char* to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::rrc: return "rrc";
+    case TraceCategory::d2d: return "d2d";
+    case TraceCategory::scheduler: return "sched";
+    case TraceCategory::agent: return "agent";
+    case TraceCategory::kCount: break;
+  }
+  return "?";
+}
+
+void TraceLog::record(TimePoint when, TraceCategory category, NodeId node,
+                      std::string message) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    --counts_[static_cast<std::size_t>(events_.front().category)];
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{when, category, node, std::move(message)});
+  ++counts_[static_cast<std::size_t>(category)];
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+  for (auto& c : counts_) c = 0;
+}
+
+std::deque<TraceEvent> TraceLog::for_node(NodeId node) const {
+  std::deque<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.node == node) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+void print_event(std::ostream& os, const TraceEvent& e) {
+  os << "  " << std::fixed << std::setw(10) << std::setprecision(3)
+     << to_seconds(e.when) << "  [" << std::setw(5) << to_string(e.category)
+     << "] #" << e.node.value << "  " << e.message << '\n';
+}
+}  // namespace
+
+void TraceLog::print(std::ostream& os) const {
+  for (const auto& e : events_) print_event(os, e);
+  if (dropped_ > 0) os << "  (" << dropped_ << " older events dropped)\n";
+}
+
+void TraceLog::print(std::ostream& os, TraceCategory category) const {
+  for (const auto& e : events_) {
+    if (e.category == category) print_event(os, e);
+  }
+}
+
+TraceLog& global_trace() {
+  static TraceLog instance;
+  return instance;
+}
+
+void trace(TimePoint when, TraceCategory category, NodeId node,
+           std::string message) {
+  global_trace().record(when, category, node, std::move(message));
+}
+
+}  // namespace d2dhb

@@ -1,0 +1,65 @@
+// Closed-form analytical model of the framework's savings.
+//
+// The simulation integrates energy event by event; this module predicts
+// the same quantities from the calibrated profiles directly. The
+// integration tests require simulation and analysis to agree, which
+// pins both against each other: a regression in either shows up as a
+// divergence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "d2d/energy_profile.hpp"
+#include "radio/rrc_profile.hpp"
+
+namespace d2dhb::core::analysis {
+
+/// Radio charge of one isolated uplink transmission carrying `payload`:
+/// promotion + burst + both inactivity tails.
+MicroAmpHours cellular_transmission_charge(const radio::RrcProfile& rrc,
+                                           Bytes payload);
+
+/// Layer-3 messages of one isolated transmission (full RRC cycle plus
+/// the bearer reconfiguration for payloads over the threshold).
+std::size_t cellular_transmission_l3(const radio::RrcProfile& rrc,
+                                     Bytes payload);
+
+/// Inputs of the compressed pair experiment (Section V methodology).
+struct PairModel {
+  std::size_t ues{1};
+  std::size_t transmissions{8};
+  double distance_m{1.0};
+  Bytes heartbeat{54};
+  Duration period{seconds(20)};
+  radio::RrcProfile rrc{radio::wcdma_profile()};
+  d2d::D2dEnergyProfile d2d{};
+};
+
+struct PairPrediction {
+  // Energy (radio-attributable, µAh).
+  double original_system_uah{0.0};
+  double d2d_ue_uah{0.0};     ///< All UEs combined.
+  double d2d_relay_uah{0.0};
+  double d2d_system_uah{0.0};
+  // Signaling.
+  std::uint64_t original_l3{0};
+  std::uint64_t d2d_l3{0};
+  // Derived savings fractions.
+  double system_energy_saving{0.0};
+  double ue_energy_saving{0.0};
+  double signaling_saving{0.0};
+};
+
+/// Predicts the pair experiment's outcome analytically.
+PairPrediction predict_pair(const PairModel& model);
+
+/// Number of transmissions after which the whole system's cumulative
+/// energy drops below the original system's (the crossover Fig. 9 shows
+/// near k = 1): smallest k with predicted system saving > 0, or 0 if
+/// never. Searches k in [1, limit].
+std::size_t break_even_transmissions(PairModel model,
+                                     std::size_t limit = 100);
+
+}  // namespace d2dhb::core::analysis

@@ -1,0 +1,46 @@
+// Incentive ledger — the Karma-Go-style micro-payment scheme of
+// Section III-A: the operator credits relays for every forwarded
+// heartbeat they deliver, redeemable as free cellular data or money.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/id.hpp"
+
+namespace d2dhb::core {
+
+class IncentiveLedger {
+ public:
+  struct Tariff {
+    /// Credits granted per forwarded heartbeat delivered to the BS.
+    double credits_per_heartbeat{1.0};
+    /// Redemption rates (Karma Go: "$1 in credits or 100 MB of free
+    /// data" per referral-sized batch of 100 credits).
+    double usd_per_credit{0.01};
+    double free_mb_per_credit{1.0};
+  };
+
+  IncentiveLedger();
+  explicit IncentiveLedger(Tariff tariff);
+
+  /// Credits `relay` for delivering `heartbeats` forwarded messages.
+  void credit(NodeId relay, std::uint64_t heartbeats);
+
+  double balance(NodeId relay) const;
+  double redeemable_usd(NodeId relay) const;
+  double redeemable_mb(NodeId relay) const;
+
+  /// Deducts up to `credits`; returns the amount actually redeemed.
+  double redeem(NodeId relay, double credits);
+
+  double total_issued() const { return total_issued_; }
+  const Tariff& tariff() const { return tariff_; }
+
+ private:
+  Tariff tariff_;
+  std::map<NodeId, double> balances_;
+  double total_issued_{0.0};
+};
+
+}  // namespace d2dhb::core

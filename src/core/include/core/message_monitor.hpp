@@ -1,0 +1,59 @@
+// Message Monitor — the third component of the paper's architecture
+// (Fig. 2) and its app-facing API (Section IV-B): "we design a set of
+// APIs for app developers to integrate the proposed D2D based framework
+// into their existing apps."
+//
+// An IM app integrates by registering its profile; the monitor
+// intercepts every heartbeat the app emits together with its
+// transmission-related parameters (period, expiration) and hands it to
+// whatever transport the node's role wires up — the UE agent's
+// relay-or-cellular path, or a bare modem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/heartbeat_app.hpp"
+#include "common/id.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::core {
+
+class MessageMonitor {
+ public:
+  /// Receives every intercepted heartbeat.
+  using Transport = std::function<void(const net::HeartbeatMessage&)>;
+
+  MessageMonitor(sim::Simulator& sim, NodeId node,
+                 IdGenerator<MessageId>& message_ids);
+
+  /// Where intercepted heartbeats go. Replacing the transport affects
+  /// subsequent heartbeats only.
+  void set_transport(Transport transport);
+
+  /// The integration point for app developers: register the app's
+  /// profile; the monitor owns the resulting heartbeat source.
+  apps::HeartbeatApp& integrate_app(apps::AppProfile profile);
+
+  void start_all(Duration offset = Duration::zero());
+  void stop_all();
+
+  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() { return apps_; }
+  std::size_t app_count() const { return apps_.size(); }
+  std::uint64_t intercepted() const { return intercepted_; }
+  NodeId node() const { return node_; }
+
+ private:
+  void on_heartbeat(const net::HeartbeatMessage& message);
+
+  sim::Simulator& sim_;
+  NodeId node_;
+  IdGenerator<MessageId>& message_ids_;
+  Transport transport_;
+  std::vector<std::unique_ptr<apps::HeartbeatApp>> apps_;
+  std::uint64_t intercepted_{0};
+};
+
+}  // namespace d2dhb::core

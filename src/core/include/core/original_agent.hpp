@@ -1,0 +1,41 @@
+// Baseline: "the system without any modification" (Section V-A) — every
+// phone transmits each of its own heartbeats directly over cellular,
+// paying a full RRC cycle per heartbeat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/heartbeat_app.hpp"
+#include "core/phone.hpp"
+#include "radio/base_station.hpp"
+
+namespace d2dhb::core {
+
+class OriginalAgent {
+ public:
+  OriginalAgent(sim::Simulator& sim, Phone& phone, apps::AppProfile app,
+                radio::BaseStation& bs, IdGenerator<MessageId>& message_ids);
+
+  /// Adds another IM app to this phone (phones often run several).
+  void add_app(apps::AppProfile app, IdGenerator<MessageId>& message_ids);
+
+  void start(Duration heartbeat_offset = Duration::zero());
+  void stop();
+
+  Phone& phone() { return phone_; }
+  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() { return apps_; }
+  std::uint64_t heartbeats_sent() const { return sent_; }
+
+ private:
+  void send(const net::HeartbeatMessage& message);
+
+  sim::Simulator& sim_;
+  Phone& phone_;
+  radio::BaseStation& bs_;
+  std::vector<std::unique_ptr<apps::HeartbeatApp>> apps_;
+  std::uint64_t sent_{0};
+};
+
+}  // namespace d2dhb::core

@@ -1,0 +1,66 @@
+// A simulated smartphone: energy meter, platform baseline draw, cellular
+// modem, Wi-Fi Direct radio, and a mobility model — everything the
+// paper's prototype runs on, minus Android.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "d2d/energy_profile.hpp"
+#include "d2d/medium.hpp"
+#include "d2d/wifi_direct.hpp"
+#include "energy/energy_meter.hpp"
+#include "mobility/mobility.hpp"
+#include "radio/cellular_modem.hpp"
+#include "radio/rrc_profile.hpp"
+#include "radio/signaling.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::core {
+
+struct PhoneConfig {
+  radio::RrcProfile rrc{radio::wcdma_profile()};
+  d2d::D2dEnergyProfile d2d_energy{};
+  /// Screen-off platform draw — everything that isn't a radio. Excluded
+  /// from radio-attributable comparisons; identical across systems.
+  MilliAmps baseline_current{40.0};
+  std::unique_ptr<mobility::MobilityModel> mobility;
+};
+
+class Phone {
+ public:
+  Phone(sim::Simulator& sim, NodeId id, PhoneConfig config,
+        d2d::WifiDirectMedium& medium, radio::SignalingCounter& signaling,
+        Rng rng);
+  Phone(const Phone&) = delete;
+  Phone& operator=(const Phone&) = delete;
+
+  NodeId id() const { return id_; }
+  energy::EnergyMeter& meter() { return meter_; }
+  radio::CellularModem& modem() { return modem_; }
+  d2d::WifiDirectRadio& wifi() { return wifi_; }
+  const mobility::MobilityModel& mobility() const { return *mobility_; }
+
+  /// Charge drawn by the cellular radio alone.
+  MicroAmpHours cellular_charge() { return modem_.radio_charge(); }
+  /// Charge drawn by the Wi-Fi Direct radio alone.
+  MicroAmpHours wifi_charge() { return wifi_.radio_charge(); }
+  /// Cellular + Wi-Fi Direct: the "heartbeat transmission" energy the
+  /// paper's comparisons are about.
+  MicroAmpHours radio_charge() { return cellular_charge() + wifi_charge(); }
+  /// Everything including the platform baseline.
+  MicroAmpHours total_charge() { return meter_.total_charge(); }
+
+ private:
+  NodeId id_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  energy::EnergyMeter meter_;
+  energy::ComponentHandle baseline_;
+  radio::CellularModem modem_;
+  d2d::WifiDirectRadio wifi_;
+};
+
+}  // namespace d2dhb::core

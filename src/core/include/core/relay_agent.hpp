@@ -1,0 +1,98 @@
+// Relay role (Section III): advertises itself over Wi-Fi Direct, collects
+// forwarded heartbeats from connected UEs, schedules them with the
+// Message Scheduler, transmits the aggregate over one cellular
+// connection, and acks each UE once the aggregate reached the BS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/heartbeat_app.hpp"
+#include "core/incentive.hpp"
+#include "core/phone.hpp"
+#include "core/scheduler.hpp"
+#include "energy/battery.hpp"
+#include "radio/base_station.hpp"
+
+namespace d2dhb::core {
+
+class RelayAgent {
+ public:
+  struct Params {
+    MessageScheduler::Params scheduler{};
+    apps::AppProfile own_app{apps::standard_app()};
+    /// Relays that run no IM app of their own never open windows; they
+    /// still aggregate forwarded heartbeats on expiry deadlines.
+    bool run_own_heartbeats{true};
+    /// Android groupOwnerIntent starts at the maximum for relays and is
+    /// reduced proportionally as the buffer fills (Section IV-C).
+    bool scale_group_owner_intent{true};
+    /// Battery-aware capacity (Section III-C: relays "adjust the value
+    /// according their situations, such as their battery usage").
+    /// 0 = unlimited power (no battery modeled). When set, the
+    /// advertised capacity scales with the remaining battery fraction
+    /// and the relay retires below `retire_battery_level`.
+    MicroAmpHours battery_capacity{0.0};
+    double retire_battery_level{0.1};
+    Duration battery_poll_interval{seconds(30)};
+  };
+
+  struct Stats {
+    std::uint64_t own_heartbeats{0};
+    std::uint64_t forwarded_received{0};
+    std::uint64_t forwarded_rejected{0};
+    std::uint64_t bundles_sent{0};
+    std::uint64_t heartbeats_uplinked{0};
+    std::uint64_t feedback_acks_sent{0};
+  };
+
+  RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
+             radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
+             IncentiveLedger* ledger = nullptr);
+
+  /// Installs another IM app on the relay phone itself. The primary app
+  /// drives the scheduler's collection window (its period is T); extra
+  /// apps' heartbeats ride the aggregates under their own expiration
+  /// deadlines, like forwarded messages do.
+  apps::HeartbeatApp& add_own_app(apps::AppProfile profile);
+
+  /// Starts the relay service (advertising + own heartbeats).
+  void start(Duration heartbeat_offset = Duration::zero());
+  void stop();
+
+  Phone& phone() { return phone_; }
+  MessageScheduler& scheduler() { return scheduler_; }
+  apps::HeartbeatApp& own_app() { return own_app_; }
+  const Stats& stats() const { return stats_; }
+  bool running() const { return running_; }
+  /// Battery level in [0, 1]; 1.0 when no battery is modeled.
+  double battery_level();
+  bool retired() const { return retired_; }
+
+ private:
+  void on_own_heartbeat(const net::HeartbeatMessage& message);
+  void on_d2d_receive(const net::D2dPayload& payload, NodeId from);
+  void on_flush(std::vector<net::HeartbeatMessage> batch, FlushReason reason);
+  void on_uplink_complete(const net::UplinkBundle& bundle);
+  void refresh_advert();
+  void poll_battery();
+  void retire();
+
+  sim::Simulator& sim_;
+  Phone& phone_;
+  Params params_;
+  radio::BaseStation& bs_;
+  IdGenerator<MessageId>& message_ids_;
+  IncentiveLedger* ledger_;
+  MessageScheduler scheduler_;
+  apps::HeartbeatApp own_app_;
+  std::vector<std::unique_ptr<apps::HeartbeatApp>> extra_apps_;
+  std::unique_ptr<energy::Battery> battery_;
+  std::unique_ptr<sim::PeriodicTimer> battery_poll_;
+  Stats stats_;
+  bool running_{false};
+  bool retired_{false};
+};
+
+}  // namespace d2dhb::core

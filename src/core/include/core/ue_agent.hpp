@@ -1,0 +1,120 @@
+// UE role (Section III): when a heartbeat is due, discover nearby
+// relays, pre-judge and match the nearest suitable one, forward the
+// heartbeat over Wi-Fi Direct, and await the relay's feedback — falling
+// back to direct cellular transmission whenever anything goes wrong.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/heartbeat_app.hpp"
+#include "core/detector.hpp"
+#include "core/feedback.hpp"
+#include "core/message_monitor.hpp"
+#include "core/phone.hpp"
+#include "radio/base_station.hpp"
+
+namespace d2dhb::core {
+
+class UeAgent {
+ public:
+  struct Params {
+    apps::AppProfile app{apps::standard_app()};
+    MatchPolicy match{};
+    /// How long the UE waits for the relay's feedback before
+    /// retransmitting over cellular.
+    Duration feedback_timeout{seconds(60)};
+    /// After a failed discovery/connection the UE sends via cellular and
+    /// doesn't retry D2D until this much time passes. Consecutive
+    /// failures back off exponentially up to `max_backoff` (a UE parked
+    /// outside relay coverage must not burn its battery scanning).
+    Duration retry_backoff{seconds(120)};
+    double backoff_multiplier{2.0};
+    Duration max_backoff{seconds(1800)};
+    /// Master switch — false degenerates to the original system.
+    bool use_d2d{true};
+    /// Optional relay re-assessment: every interval, a connected UE
+    /// re-scans and switches to a relay at least `reassess_improvement`
+    /// times closer than its current one (a moving UE should not cling
+    /// to the relay it met first). Zero disables re-assessment.
+    Duration reassess_interval{Duration::zero()};
+    double reassess_improvement{0.6};
+  };
+
+  struct Stats {
+    std::uint64_t heartbeats{0};
+    std::uint64_t sent_via_d2d{0};
+    std::uint64_t sent_via_cellular{0};  ///< No relay available.
+    std::uint64_t fallback_cellular{0};  ///< D2D failed after the fact.
+    std::uint64_t discoveries{0};
+    std::uint64_t matches{0};
+    std::uint64_t connects{0};
+    std::uint64_t connect_failures{0};
+    std::uint64_t link_losses{0};
+    std::uint64_t reassessments{0};
+    std::uint64_t handovers{0};
+  };
+
+  enum class LinkState { idle, discovering, connecting, connected };
+
+  UeAgent(sim::Simulator& sim, Phone& phone, Params params,
+          radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
+          Rng rng);
+
+  /// Installs another IM app on this phone (phones typically run
+  /// several — Table I). All apps share the same relay link; the
+  /// scheduler on the relay side handles their differing periods and
+  /// expiration times.
+  apps::HeartbeatApp& add_app(apps::AppProfile profile);
+
+  void start(Duration heartbeat_offset = Duration::zero());
+  void stop();
+
+  Phone& phone() { return phone_; }
+  /// The Message Monitor intercepting this phone's app heartbeats.
+  MessageMonitor& monitor() { return monitor_; }
+  /// The primary app (first installed).
+  apps::HeartbeatApp& app() { return *monitor_.apps().front(); }
+  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() {
+    return monitor_.apps();
+  }
+  LinkState link_state() const { return state_; }
+  NodeId current_relay() const { return relay_; }
+  const Stats& stats() const { return stats_; }
+  const FeedbackTracker& feedback() const { return feedback_; }
+
+ private:
+  void on_heartbeat(const net::HeartbeatMessage& message);
+  void on_d2d_receive(const net::D2dPayload& payload, NodeId from);
+  void on_link_lost(NodeId peer);
+  void begin_discovery();
+  void on_discovery(const std::vector<d2d::DiscoveredPeer>& peers);
+  void send_via_d2d(net::HeartbeatMessage message);
+  void send_via_cellular(const net::HeartbeatMessage& message,
+                         bool is_fallback);
+  void drain_queue_to_cellular();
+  void fail_d2d_attempt();
+  void reassess();
+
+  sim::Simulator& sim_;
+  Phone& phone_;
+  Params params_;
+  radio::BaseStation& bs_;
+  IdGenerator<MessageId>& message_ids_;
+  D2dDetector detector_;
+  FeedbackTracker feedback_;
+  MessageMonitor monitor_;
+
+  LinkState state_{LinkState::idle};
+  NodeId relay_{};
+  NodeId handover_target_{};
+  std::unique_ptr<sim::PeriodicTimer> reassess_timer_;
+  TimePoint backoff_until_{};
+  Duration current_backoff_{};
+  std::vector<net::HeartbeatMessage> awaiting_link_;
+  Stats stats_;
+  bool running_{false};
+};
+
+}  // namespace d2dhb::core

@@ -1,0 +1,110 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "net/message.hpp"
+
+namespace d2dhb::core::analysis {
+
+MicroAmpHours cellular_transmission_charge(const radio::RrcProfile& rrc,
+                                           Bytes payload) {
+  const Duration burst = std::max(
+      rrc.min_tx_duration,
+      seconds(static_cast<double>(payload.value) /
+              rrc.uplink_bytes_per_second));
+  MicroAmpHours total;
+  total += integrate(rrc.promotion_current, rrc.promotion_delay);
+  total += integrate(rrc.high_current + rrc.tx_extra_current, burst);
+  total += integrate(rrc.high_current, rrc.high_inactivity);
+  total += integrate(rrc.low_current, rrc.low_inactivity);
+  return total;
+}
+
+std::size_t cellular_transmission_l3(const radio::RrcProfile& rrc,
+                                     Bytes payload) {
+  std::size_t count = rrc.full_cycle_l3();
+  if (payload > rrc.rb_reconfig_threshold) {
+    count += rrc.rb_reconfig_sequence.size();
+  }
+  return count;
+}
+
+namespace {
+
+/// Wire size of the relay's aggregate of one own + `ues` forwarded
+/// heartbeats.
+Bytes aggregate_payload(std::size_t ues, Bytes heartbeat) {
+  const auto n = static_cast<std::uint32_t>(ues + 1);
+  Bytes total{heartbeat.value * n};
+  if (n > 1) total += Bytes{net::UplinkBundle::kAggregationHeader.value * n};
+  return total;
+}
+
+}  // namespace
+
+PairPrediction predict_pair(const PairModel& model) {
+  const double k = static_cast<double>(model.transmissions);
+  const double m = static_cast<double>(model.ues);
+  PairPrediction p;
+
+  // --- Original system: every phone pays a full cycle per heartbeat ---
+  const double cell_each =
+      cellular_transmission_charge(model.rrc, model.heartbeat).value;
+  p.original_system_uah = (m + 1.0) * k * cell_each;
+  p.original_l3 = static_cast<std::uint64_t>(
+      (m + 1.0) * k *
+      static_cast<double>(cellular_transmission_l3(model.rrc,
+                                                   model.heartbeat)));
+
+  // --- D2D UEs: one discovery + connection each, then k sends, plus the
+  //     idle-connected draw over the connection's lifetime (~k periods).
+  const double ue_setup =
+      model.d2d.ue_discovery.value + model.d2d.ue_connection.value;
+  const double send_each =
+      model.d2d.send_charge(model.heartbeat, Meters{model.distance_m}).value;
+  const double idle_span_s = k * to_seconds(model.period);
+  const double ue_idle = model.d2d.idle_connected.value * idle_span_s / 3.6;
+  // Feedback acks: one control receive per aggregate.
+  const double ue_control = k * model.d2d.control_receive.value;
+  p.d2d_ue_uah = m * (ue_setup + k * send_each + ue_idle + ue_control);
+
+  // --- D2D relay: one passive-discovery window (UEs scan together), a
+  //     connection per UE, k receives per UE, k aggregate cellular
+  //     transmissions, idle draw, and one feedback send per UE per
+  //     aggregate.
+  const Bytes agg = aggregate_payload(model.ues, model.heartbeat);
+  const double agg_cell = cellular_transmission_charge(model.rrc, agg).value;
+  const double recv_each = model.d2d.receive_charge(model.heartbeat).value;
+  p.d2d_relay_uah = model.d2d.relay_discovery.value +
+                    m * model.d2d.relay_connection.value +
+                    k * m * recv_each + k * agg_cell +
+                    model.d2d.idle_connected.value * idle_span_s / 3.6 +
+                    k * m * model.d2d.control_send.value;
+  p.d2d_system_uah = p.d2d_ue_uah + p.d2d_relay_uah;
+
+  p.d2d_l3 = static_cast<std::uint64_t>(
+      k * static_cast<double>(cellular_transmission_l3(model.rrc, agg)));
+
+  // --- Savings ---
+  if (p.original_system_uah > 0.0) {
+    p.system_energy_saving =
+        1.0 - p.d2d_system_uah / p.original_system_uah;
+  }
+  const double orig_ue = m * k * cell_each;
+  if (orig_ue > 0.0) p.ue_energy_saving = 1.0 - p.d2d_ue_uah / orig_ue;
+  if (p.original_l3 > 0) {
+    p.signaling_saving = 1.0 - static_cast<double>(p.d2d_l3) /
+                                   static_cast<double>(p.original_l3);
+  }
+  return p;
+}
+
+std::size_t break_even_transmissions(PairModel model, std::size_t limit) {
+  for (std::size_t k = 1; k <= limit; ++k) {
+    model.transmissions = k;
+    if (predict_pair(model).system_energy_saving > 0.0) return k;
+  }
+  return 0;
+}
+
+}  // namespace d2dhb::core::analysis

@@ -1,0 +1,119 @@
+#include "core/baseline_agent.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace d2dhb::core {
+
+namespace {
+
+apps::AppProfile stretched(apps::AppProfile app, double factor) {
+  if (factor != 1.0) {
+    app.heartbeat_period = Duration{static_cast<std::int64_t>(
+        static_cast<double>(app.heartbeat_period.count()) * factor)};
+    // The server's tolerance tracks the announced period, so the
+    // expiration budget stretches with it.
+    app.expiry = app.heartbeat_period;
+  }
+  return app;
+}
+
+}  // namespace
+
+CellularBaselineAgent::CellularBaselineAgent(
+    sim::Simulator& sim, Phone& phone, Params params,
+    radio::BaseStation& bs, IdGenerator<MessageId>& message_ids, Rng rng)
+    : sim_(sim),
+      phone_(phone),
+      params_(params),
+      bs_(bs),
+      message_ids_(message_ids),
+      effective_profile_(stretched(params.app, params.period_factor)),
+      traffic_(sim, effective_profile_, rng,
+               [this](apps::MixedTrafficGenerator::Kind kind, Bytes size) {
+                 on_traffic(kind, size);
+               }) {
+  phone_.modem().set_fast_dormancy(params_.fast_dormancy);
+  phone_.modem().set_uplink_handler(
+      [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
+}
+
+CellularBaselineAgent::~CellularBaselineAgent() {
+  if (pending_deadline_.valid()) sim_.cancel(pending_deadline_);
+}
+
+void CellularBaselineAgent::start() { traffic_.start(); }
+
+void CellularBaselineAgent::stop() {
+  traffic_.stop();
+  if (pending_deadline_.valid()) sim_.cancel(pending_deadline_);
+  pending_deadline_ = {};
+}
+
+net::HeartbeatMessage CellularBaselineAgent::make_heartbeat() {
+  net::HeartbeatMessage m;
+  m.id = message_ids_.next();
+  m.origin = phone_.id();
+  m.app = AppId{phone_.id().value};
+  m.app_name = effective_profile_.name;
+  m.size = effective_profile_.heartbeat_size;
+  m.period = effective_profile_.heartbeat_period;
+  m.expiry = effective_profile_.expiry;
+  m.created_at = sim_.now();
+  m.seq = ++seq_;
+  return m;
+}
+
+void CellularBaselineAgent::on_traffic(
+    apps::MixedTrafficGenerator::Kind kind, Bytes size) {
+  if (kind == apps::MixedTrafficGenerator::Kind::heartbeat) {
+    ++stats_.heartbeats;
+    if (!params_.piggyback) {
+      pending_.push_back(make_heartbeat());
+      send_heartbeats_now(Bytes{0});
+      return;
+    }
+    pending_.push_back(make_heartbeat());
+    arm_pending_deadline();
+    return;
+  }
+
+  if (!params_.with_data_traffic) return;
+  ++stats_.data_sends;
+  // A data transmission: anything pending rides along for free.
+  stats_.piggybacked += pending_.size();
+  send_heartbeats_now(size);
+}
+
+void CellularBaselineAgent::send_heartbeats_now(Bytes data_payload) {
+  if (pending_deadline_.valid()) {
+    sim_.cancel(pending_deadline_);
+    pending_deadline_ = {};
+  }
+  net::UplinkBundle bundle;
+  bundle.sender = phone_.id();
+  bundle.messages = std::move(pending_);
+  pending_.clear();
+  bundle.extra_payload = data_payload;
+  if (bundle.messages.empty() && data_payload.value == 0) return;
+  phone_.modem().transmit(std::move(bundle));
+}
+
+void CellularBaselineAgent::arm_pending_deadline() {
+  if (pending_.empty()) return;
+  if (pending_deadline_.valid()) sim_.cancel(pending_deadline_);
+  // Earliest expiration among pending heartbeats, minus the margin.
+  TimePoint earliest = pending_.front().deadline();
+  for (const auto& m : pending_) {
+    earliest = std::min(earliest, m.deadline());
+  }
+  TimePoint fire = earliest - params_.piggyback_margin;
+  if (fire < sim_.now()) fire = sim_.now();
+  pending_deadline_ = sim_.schedule_at(fire, [this] {
+    pending_deadline_ = {};
+    stats_.sent_alone += pending_.size();
+    send_heartbeats_now(Bytes{0});
+  });
+}
+
+}  // namespace d2dhb::core

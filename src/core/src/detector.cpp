@@ -1,0 +1,51 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d2dhb::core {
+
+Meters break_even_distance(const d2d::D2dEnergyProfile& d2d,
+                           MicroAmpHours cellular_per_heartbeat,
+                           Bytes heartbeat_size) {
+  // Solve send_charge(size, d) == cellular_per_heartbeat for d:
+  //   base · (1 + f·(d - ref)²) = E_c  =>  d = ref + sqrt((E_c/base - 1)/f)
+  const double base = d2d.send_charge(heartbeat_size, d2d.reference_distance)
+                          .value;
+  if (base <= 0.0 || cellular_per_heartbeat.value <= base ||
+      d2d.distance_factor <= 0.0) {
+    return Meters{0.0};
+  }
+  const double ratio = cellular_per_heartbeat.value / base - 1.0;
+  return Meters{d2d.reference_distance.value +
+                std::sqrt(ratio / d2d.distance_factor)};
+}
+
+std::optional<d2d::DiscoveredPeer> D2dDetector::match(
+    const std::vector<d2d::DiscoveredPeer>& discovered) {
+  std::vector<d2d::DiscoveredPeer> candidates;
+  for (const auto& peer : discovered) {
+    if (!peer.advert.offers_relay) continue;
+    if (policy_.require_capacity && peer.advert.capacity_remaining == 0) {
+      continue;
+    }
+    if (peer.estimated_distance.value > policy_.max_distance.value) continue;
+    candidates.push_back(peer);
+  }
+  if (candidates.empty()) return std::nullopt;
+  switch (policy_.strategy) {
+    case MatchStrategy::nearest:
+      return *std::min_element(candidates.begin(), candidates.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.estimated_distance.value <
+                                        b.estimated_distance.value;
+                               });
+    case MatchStrategy::random:
+      return candidates[rng_.uniform_int(0, candidates.size() - 1)];
+    case MatchStrategy::first:
+      return candidates.front();
+  }
+  return std::nullopt;
+}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,51 @@
+#include "core/feedback.hpp"
+
+#include <utility>
+
+namespace d2dhb::core {
+
+FeedbackTracker::FeedbackTracker(sim::Simulator& sim, Duration timeout,
+                                 FallbackHandler on_fallback)
+    : sim_(sim), timeout_(timeout), on_fallback_(std::move(on_fallback)) {}
+
+FeedbackTracker::~FeedbackTracker() {
+  for (auto& [id, entry] : pending_) sim_.cancel(entry.timeout_event);
+}
+
+void FeedbackTracker::track(net::HeartbeatMessage message) {
+  const MessageId id = message.id;
+  ++stats_.tracked;
+  const sim::EventId event = sim_.schedule_after(timeout_, [this, id] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    net::HeartbeatMessage message = std::move(it->second.message);
+    pending_.erase(it);
+    ++stats_.timed_out;
+    on_fallback_(message);
+  });
+  pending_.emplace(id, Entry{std::move(message), event});
+}
+
+void FeedbackTracker::acknowledge(const std::vector<MessageId>& delivered) {
+  for (const MessageId id : delivered) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    sim_.cancel(it->second.timeout_event);
+    pending_.erase(it);
+    ++stats_.acknowledged;
+  }
+}
+
+void FeedbackTracker::fail_all_pending() {
+  std::vector<net::HeartbeatMessage> victims;
+  victims.reserve(pending_.size());
+  for (auto& [id, entry] : pending_) {
+    sim_.cancel(entry.timeout_event);
+    victims.push_back(std::move(entry.message));
+  }
+  pending_.clear();
+  stats_.failed_immediately += victims.size();
+  for (auto& message : victims) on_fallback_(message);
+}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,38 @@
+#include "core/incentive.hpp"
+
+#include <algorithm>
+
+namespace d2dhb::core {
+
+IncentiveLedger::IncentiveLedger() : tariff_() {}
+IncentiveLedger::IncentiveLedger(Tariff tariff) : tariff_(tariff) {}
+
+void IncentiveLedger::credit(NodeId relay, std::uint64_t heartbeats) {
+  const double credits =
+      tariff_.credits_per_heartbeat * static_cast<double>(heartbeats);
+  balances_[relay] += credits;
+  total_issued_ += credits;
+}
+
+double IncentiveLedger::balance(NodeId relay) const {
+  const auto it = balances_.find(relay);
+  return it == balances_.end() ? 0.0 : it->second;
+}
+
+double IncentiveLedger::redeemable_usd(NodeId relay) const {
+  return balance(relay) * tariff_.usd_per_credit;
+}
+
+double IncentiveLedger::redeemable_mb(NodeId relay) const {
+  return balance(relay) * tariff_.free_mb_per_credit;
+}
+
+double IncentiveLedger::redeem(NodeId relay, double credits) {
+  auto it = balances_.find(relay);
+  if (it == balances_.end()) return 0.0;
+  const double redeemed = std::min(credits, it->second);
+  it->second -= redeemed;
+  return redeemed;
+}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,37 @@
+#include "core/message_monitor.hpp"
+
+#include <utility>
+
+namespace d2dhb::core {
+
+MessageMonitor::MessageMonitor(sim::Simulator& sim, NodeId node,
+                               IdGenerator<MessageId>& message_ids)
+    : sim_(sim), node_(node), message_ids_(message_ids) {}
+
+void MessageMonitor::set_transport(Transport transport) {
+  transport_ = std::move(transport);
+}
+
+apps::HeartbeatApp& MessageMonitor::integrate_app(apps::AppProfile profile) {
+  const AppId app_id{apps_.empty() ? node_.value
+                                   : node_.value * 1000 + apps_.size() + 1};
+  apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+      sim_, node_, app_id, std::move(profile), message_ids_,
+      [this](const net::HeartbeatMessage& m) { on_heartbeat(m); }));
+  return *apps_.back();
+}
+
+void MessageMonitor::start_all(Duration offset) {
+  for (auto& app : apps_) app->start(offset);
+}
+
+void MessageMonitor::stop_all() {
+  for (auto& app : apps_) app->stop();
+}
+
+void MessageMonitor::on_heartbeat(const net::HeartbeatMessage& message) {
+  ++intercepted_;
+  if (transport_) transport_(message);
+}
+
+}  // namespace d2dhb::core

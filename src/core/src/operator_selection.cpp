@@ -1,0 +1,134 @@
+#include "core/operator_selection.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace d2dhb::core {
+
+namespace {
+
+bool eligible(const RelayCandidate& c, const SelectionConfig& config) {
+  return c.volunteers && c.battery_level >= config.min_battery;
+}
+
+std::size_t budget(const SelectionConfig& config, std::size_t eligible_n) {
+  return config.max_relays == 0 ? eligible_n
+                                : std::min(config.max_relays, eligible_n);
+}
+
+}  // namespace
+
+double coverage_of(const std::vector<RelayCandidate>& candidates,
+                   const std::vector<NodeId>& relays,
+                   Meters coverage_radius) {
+  std::unordered_set<NodeId> relay_set(relays.begin(), relays.end());
+  std::size_t others = 0;
+  std::size_t covered = 0;
+  for (const auto& c : candidates) {
+    if (relay_set.contains(c.node)) continue;
+    ++others;
+    for (const auto& r : candidates) {
+      if (!relay_set.contains(r.node)) continue;
+      if (mobility::distance(c.position, r.position).value <=
+          coverage_radius.value) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return others == 0 ? 1.0
+                     : static_cast<double>(covered) /
+                           static_cast<double>(others);
+}
+
+SelectionResult select_relays(const std::vector<RelayCandidate>& candidates,
+                              const SelectionConfig& config, Rng& rng) {
+  std::vector<std::size_t> pool;  // indices of eligible volunteers
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (eligible(candidates[i], config)) pool.push_back(i);
+  }
+  const std::size_t want = budget(config, pool.size());
+
+  SelectionResult result;
+  switch (config.policy) {
+    case SelectionPolicy::random: {
+      // Fisher-Yates prefix shuffle of the pool.
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t j = i + rng.uniform_int(0, pool.size() - 1 - i);
+        std::swap(pool[i], pool[j]);
+        result.relays.push_back(candidates[pool[i]].node);
+      }
+      break;
+    }
+    case SelectionPolicy::density: {
+      std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (nbrs, idx)
+      for (const std::size_t i : pool) {
+        std::size_t neighbours = 0;
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+          if (j == i) continue;
+          if (mobility::distance(candidates[i].position,
+                                 candidates[j].position)
+                  .value <= config.coverage_radius.value) {
+            ++neighbours;
+          }
+        }
+        ranked.emplace_back(neighbours, i);
+      }
+      std::sort(ranked.begin(), ranked.end(), [&](const auto& a,
+                                                  const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return candidates[a.second].node < candidates[b.second].node;
+      });
+      for (std::size_t k = 0; k < want; ++k) {
+        result.relays.push_back(candidates[ranked[k].second].node);
+      }
+      break;
+    }
+    case SelectionPolicy::coverage_greedy: {
+      std::vector<bool> covered(candidates.size(), false);
+      std::unordered_set<std::size_t> chosen;
+      for (std::size_t round = 0; round < want; ++round) {
+        std::size_t best = SIZE_MAX;
+        std::size_t best_gain = 0;
+        for (const std::size_t i : pool) {
+          if (chosen.contains(i)) continue;
+          std::size_t gain = 0;
+          for (std::size_t j = 0; j < candidates.size(); ++j) {
+            if (j == i || covered[j] || chosen.contains(j)) continue;
+            if (mobility::distance(candidates[i].position,
+                                   candidates[j].position)
+                    .value <= config.coverage_radius.value) {
+              ++gain;
+            }
+          }
+          // Ties broken by node id for determinism; a relay with zero
+          // marginal gain is still picked if budget remains (it serves
+          // itself by not paying relay-search costs).
+          if (best == SIZE_MAX || gain > best_gain ||
+              (gain == best_gain &&
+               candidates[i].node < candidates[best].node)) {
+            best = i;
+            best_gain = gain;
+          }
+        }
+        if (best == SIZE_MAX) break;
+        chosen.insert(best);
+        result.relays.push_back(candidates[best].node);
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+          if (covered[j] || chosen.contains(j)) continue;
+          if (mobility::distance(candidates[best].position,
+                                 candidates[j].position)
+                  .value <= config.coverage_radius.value) {
+            covered[j] = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  result.covered_fraction =
+      coverage_of(candidates, result.relays, config.coverage_radius);
+  return result;
+}
+
+}  // namespace d2dhb::core

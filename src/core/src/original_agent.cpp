@@ -1,0 +1,44 @@
+#include "core/original_agent.hpp"
+
+#include <utility>
+
+namespace d2dhb::core {
+
+OriginalAgent::OriginalAgent(sim::Simulator& sim, Phone& phone,
+                             apps::AppProfile app, radio::BaseStation& bs,
+                             IdGenerator<MessageId>& message_ids)
+    : sim_(sim), phone_(phone), bs_(bs) {
+  phone_.modem().set_uplink_handler(
+      [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
+  add_app(std::move(app), message_ids);
+}
+
+void OriginalAgent::add_app(apps::AppProfile app,
+                            IdGenerator<MessageId>& message_ids) {
+  // The first app uses the node-scoped AppId so server registrations by
+  // node line up; additional apps get derived ids.
+  const AppId app_id{apps_.empty()
+                         ? phone_.id().value
+                         : phone_.id().value * 1000 + apps_.size() + 1};
+  apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+      sim_, phone_.id(), app_id, std::move(app), message_ids,
+      [this](const net::HeartbeatMessage& m) { send(m); }));
+}
+
+void OriginalAgent::start(Duration heartbeat_offset) {
+  for (auto& app : apps_) app->start(heartbeat_offset);
+}
+
+void OriginalAgent::stop() {
+  for (auto& app : apps_) app->stop();
+}
+
+void OriginalAgent::send(const net::HeartbeatMessage& message) {
+  ++sent_;
+  net::UplinkBundle bundle;
+  bundle.sender = phone_.id();
+  bundle.messages = {message};
+  phone_.modem().transmit(std::move(bundle));
+}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,23 @@
+#include "core/phone.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::core {
+
+Phone::Phone(sim::Simulator& sim, NodeId id, PhoneConfig config,
+             d2d::WifiDirectMedium& medium,
+             radio::SignalingCounter& signaling, Rng rng)
+    : id_(id),
+      mobility_(std::move(config.mobility)),
+      meter_(sim),
+      baseline_(meter_.register_component("baseline",
+                                          config.baseline_current)),
+      modem_(sim, id, std::move(config.rrc), meter_, signaling),
+      wifi_(sim, id, medium,
+            *(mobility_ ? mobility_.get()
+                        : throw std::invalid_argument(
+                              "PhoneConfig.mobility is required")),
+            meter_, config.d2d_energy, rng) {}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,198 @@
+#include "core/relay_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/tracelog.hpp"
+#include "d2d/wifi_direct.hpp"
+
+namespace d2dhb::core {
+
+RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
+                       radio::BaseStation& bs,
+                       IdGenerator<MessageId>& message_ids,
+                       IncentiveLedger* ledger)
+    : sim_(sim),
+      phone_(phone),
+      params_(params),
+      bs_(bs),
+      message_ids_(message_ids),
+      ledger_(ledger),
+      scheduler_(sim, params.scheduler,
+                 [this](std::vector<net::HeartbeatMessage> batch,
+                        FlushReason reason) {
+                   on_flush(std::move(batch), reason);
+                 }),
+      own_app_(sim, phone.id(), AppId{phone.id().value}, params.own_app,
+               message_ids,
+               [this](const net::HeartbeatMessage& m) { on_own_heartbeat(m); }) {
+  phone_.modem().set_uplink_handler(
+      [this](const net::UplinkBundle& bundle) { on_uplink_complete(bundle); });
+  phone_.wifi().set_receive_handler(
+      [this](const net::D2dPayload& payload, NodeId from) {
+        on_d2d_receive(payload, from);
+      });
+  if (params_.battery_capacity.value > 0.0) {
+    battery_ = std::make_unique<energy::Battery>(
+        phone_.meter(), params_.battery_capacity, [this] { retire(); });
+    battery_poll_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, params_.battery_poll_interval, [this] { poll_battery(); });
+  }
+}
+
+double RelayAgent::battery_level() {
+  return battery_ ? battery_->level() : 1.0;
+}
+
+void RelayAgent::poll_battery() {
+  if (!battery_ || retired_) return;
+  if (battery_->level() <= params_.retire_battery_level) {
+    retire();
+    return;
+  }
+  refresh_advert();  // advertised capacity tracks the battery
+}
+
+void RelayAgent::retire() {
+  if (retired_) return;
+  retired_ = true;
+  trace(sim_.now(), TraceCategory::agent, phone_.id(),
+        "relay retired (battery)");
+  stop();
+  if (battery_poll_) battery_poll_->stop();
+  if (battery_ && battery_->depleted()) {
+    // A dead phone can't even finish the forced flush.
+    phone_.modem().force_idle();
+  }
+  phone_.wifi().disconnect_all();
+}
+
+apps::HeartbeatApp& RelayAgent::add_own_app(apps::AppProfile profile) {
+  const AppId app_id{phone_.id().value * 1000 + extra_apps_.size() + 2};
+  extra_apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+      sim_, phone_.id(), app_id, std::move(profile), message_ids_,
+      [this](const net::HeartbeatMessage& m) {
+        // Extra own apps' heartbeats join the buffer like forwarded
+        // ones: they must go out before their own expiration, but they
+        // don't open or close the collection window.
+        if (!scheduler_.collect(m)) {
+          // Buffer full or strict-mode closed window: send directly.
+          net::UplinkBundle bundle;
+          bundle.sender = phone_.id();
+          bundle.messages = {m};
+          phone_.modem().transmit(std::move(bundle));
+        }
+        refresh_advert();
+      }));
+  return *extra_apps_.back();
+}
+
+void RelayAgent::start(Duration heartbeat_offset) {
+  if (retired_) return;
+  running_ = true;
+  if (battery_poll_) battery_poll_->start();
+  phone_.wifi().set_listening(true);
+  phone_.wifi().set_group_owner_intent(d2d::kMaxGroupOwnerIntent);
+  refresh_advert();
+  if (params_.run_own_heartbeats) own_app_.start(heartbeat_offset);
+  for (auto& app : extra_apps_) app->start(heartbeat_offset);
+}
+
+void RelayAgent::stop() {
+  running_ = false;
+  own_app_.stop();
+  for (auto& app : extra_apps_) app->stop();
+  scheduler_.flush_now(FlushReason::forced);
+  phone_.wifi().set_listening(false);
+  phone_.wifi().set_advert(d2d::RelayAdvert{});
+}
+
+void RelayAgent::on_own_heartbeat(const net::HeartbeatMessage& message) {
+  ++stats_.own_heartbeats;
+  scheduler_.begin_window(message);
+  refresh_advert();
+}
+
+void RelayAgent::on_d2d_receive(const net::D2dPayload& payload, NodeId from) {
+  const auto* hb = std::get_if<net::HeartbeatMessage>(&payload);
+  if (hb == nullptr) return;  // relays don't consume feedback acks
+  if (!running_ || !scheduler_.collect(*hb)) {
+    ++stats_.forwarded_rejected;
+    D2DHB_LOG(debug) << "relay " << phone_.id().value
+                     << " rejected heartbeat from " << from.value;
+    return;
+  }
+  ++stats_.forwarded_received;
+  refresh_advert();
+}
+
+void RelayAgent::on_flush(std::vector<net::HeartbeatMessage> batch,
+                          FlushReason reason) {
+  if (batch.empty()) return;
+  D2DHB_LOG(debug) << "relay " << phone_.id().value << " flush ("
+                   << to_string(reason) << "): " << batch.size()
+                   << " heartbeats";
+  trace(sim_.now(), TraceCategory::scheduler, phone_.id(),
+        std::string("flush (") + to_string(reason) + "): " +
+            std::to_string(batch.size()) + " heartbeats");
+  net::UplinkBundle bundle;
+  bundle.sender = phone_.id();
+  bundle.messages = std::move(batch);
+  phone_.modem().transmit(std::move(bundle));
+  refresh_advert();
+}
+
+void RelayAgent::on_uplink_complete(const net::UplinkBundle& bundle) {
+  ++stats_.bundles_sent;
+  stats_.heartbeats_uplinked += bundle.messages.size();
+  bs_.receive(bundle);
+
+  // Feedback: ack every UE whose heartbeats rode in this aggregate.
+  std::set<NodeId> origins;
+  std::uint64_t forwarded = 0;
+  for (const auto& m : bundle.messages) {
+    if (m.origin == phone_.id()) continue;
+    origins.insert(m.origin);
+    ++forwarded;
+  }
+  for (const NodeId ue : origins) {
+    net::FeedbackAck ack;
+    ack.relay = phone_.id();
+    for (const auto& m : bundle.messages) {
+      if (m.origin == ue) ack.delivered.push_back(m.id);
+    }
+    if (phone_.wifi().connected_to(ue)) {
+      ++stats_.feedback_acks_sent;
+      phone_.wifi().send(ue, net::D2dPayload{std::move(ack)},
+                         [](Status) { /* best effort */ });
+    }
+  }
+  if (ledger_ != nullptr && forwarded > 0) {
+    ledger_->credit(phone_.id(), forwarded);
+  }
+}
+
+void RelayAgent::refresh_advert() {
+  d2d::RelayAdvert advert;
+  advert.offers_relay = running_;
+  // Battery-aware capacity: a half-drained relay offers half its buffer.
+  const double scale = battery_ ? battery_->level() : 1.0;
+  advert.capacity_remaining = static_cast<std::uint32_t>(
+      std::floor(static_cast<double>(scheduler_.remaining_capacity()) *
+                 scale));
+  phone_.wifi().set_advert(advert);
+  if (params_.scale_group_owner_intent) {
+    const auto capacity = std::max<std::size_t>(
+        scheduler_.params().capacity, 1);
+    const int intent = static_cast<int>(
+        d2d::kMaxGroupOwnerIntent * scheduler_.remaining_capacity() /
+        capacity);
+    phone_.wifi().set_group_owner_intent(intent);
+  }
+}
+
+}  // namespace d2dhb::core

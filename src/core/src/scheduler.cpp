@@ -1,0 +1,127 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::core {
+
+const char* to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::capacity: return "capacity";
+    case FlushReason::expiry: return "expiry";
+    case FlushReason::window_end: return "window_end";
+    case FlushReason::forced: return "forced";
+  }
+  return "?";
+}
+
+MessageScheduler::MessageScheduler(sim::Simulator& sim, Params params,
+                                   FlushHandler on_flush)
+    : sim_(sim), params_(params), on_flush_(std::move(on_flush)) {
+  if (params_.capacity == 0) {
+    throw std::invalid_argument("MessageScheduler: capacity must be >= 1");
+  }
+  if (params_.max_own_delay <= Duration::zero()) {
+    throw std::invalid_argument(
+        "MessageScheduler: max_own_delay must be positive");
+  }
+  if (params_.deadline_margin < Duration::zero()) {
+    throw std::invalid_argument(
+        "MessageScheduler: deadline_margin must be non-negative");
+  }
+}
+
+MessageScheduler::~MessageScheduler() {
+  if (deadline_event_.valid()) sim_.cancel(deadline_event_);
+}
+
+std::size_t MessageScheduler::remaining_capacity() const {
+  return collected_.size() >= params_.capacity
+             ? 0
+             : params_.capacity - collected_.size();
+}
+
+void MessageScheduler::begin_window(net::HeartbeatMessage own) {
+  if (own_) {
+    // Previous window still open: periods never overlap, send it out.
+    flush(FlushReason::window_end);
+  }
+  ++stats_.windows;
+  window_deadline_ = own.created_at + params_.max_own_delay;
+  own_ = std::move(own);
+  rearm();
+}
+
+bool MessageScheduler::collect(net::HeartbeatMessage forwarded) {
+  if (!params_.collect_between_windows && !own_) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (collected_.size() >= params_.capacity) {
+    // Shouldn't normally happen (we flush when k hits M), but guard it.
+    ++stats_.rejected;
+    return false;
+  }
+  collected_.push_back(std::move(forwarded));
+  ++stats_.collected;
+  if (collected_.size() >= params_.capacity) {
+    flush(FlushReason::capacity);
+  } else {
+    rearm();
+  }
+  return true;
+}
+
+std::optional<TimePoint> MessageScheduler::next_deadline() const {
+  std::optional<TimePoint> deadline;
+  auto consider = [&](TimePoint t) {
+    if (!deadline || t < *deadline) deadline = t;
+  };
+  if (own_) consider(window_deadline_);
+  for (const auto& m : collected_) consider(m.deadline());
+  return deadline;
+}
+
+void MessageScheduler::rearm() {
+  if (deadline_event_.valid()) {
+    sim_.cancel(deadline_event_);
+    deadline_event_ = {};
+  }
+  const auto deadline = next_deadline();
+  if (!deadline) return;
+  TimePoint fire = *deadline - params_.deadline_margin;
+  if (fire < sim_.now()) fire = sim_.now();
+  deadline_event_ = sim_.schedule_at(fire, [this] {
+    deadline_event_ = {};
+    // Which bound fired? If it's the relay's own T, count as window_end.
+    const TimePoint threshold = sim_.now() + params_.deadline_margin;
+    const bool own_bound = own_ && window_deadline_ <= threshold;
+    flush(own_bound ? FlushReason::window_end : FlushReason::expiry);
+  });
+}
+
+void MessageScheduler::flush_now(FlushReason reason) { flush(reason); }
+
+void MessageScheduler::flush(FlushReason reason) {
+  if (!own_ && collected_.empty()) return;
+  if (deadline_event_.valid()) {
+    sim_.cancel(deadline_event_);
+    deadline_event_ = {};
+  }
+  std::vector<net::HeartbeatMessage> batch;
+  batch.reserve(collected_.size() + 1);
+  if (own_) {
+    batch.push_back(std::move(*own_));
+    own_.reset();
+  }
+  for (auto& m : collected_) batch.push_back(std::move(m));
+  collected_.clear();
+
+  ++stats_.flushes;
+  stats_.flushed_messages += batch.size();
+  ++stats_.flushes_by_reason[static_cast<std::size_t>(reason)];
+  on_flush_(std::move(batch), reason);
+}
+
+}  // namespace d2dhb::core

@@ -1,0 +1,252 @@
+#include "core/ue_agent.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/tracelog.hpp"
+#include "d2d/wifi_direct.hpp"
+
+namespace d2dhb::core {
+
+UeAgent::UeAgent(sim::Simulator& sim, Phone& phone, Params params,
+                 radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
+                 Rng rng)
+    : sim_(sim),
+      phone_(phone),
+      params_(params),
+      bs_(bs),
+      message_ids_(message_ids),
+      detector_(params.match, rng),
+      feedback_(sim, params.feedback_timeout,
+                [this](const net::HeartbeatMessage& m) {
+                  ++stats_.fallback_cellular;
+                  trace(sim_.now(), TraceCategory::agent, phone_.id(),
+                        "fallback to cellular (heartbeat " +
+                            std::to_string(m.id.value) + ")");
+                  send_via_cellular(m, /*is_fallback=*/true);
+                }),
+      monitor_(sim, phone.id(), message_ids) {
+  monitor_.set_transport(
+      [this](const net::HeartbeatMessage& m) { on_heartbeat(m); });
+  add_app(params_.app);
+  phone_.modem().set_uplink_handler(
+      [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
+  phone_.wifi().set_receive_handler(
+      [this](const net::D2dPayload& payload, NodeId from) {
+        on_d2d_receive(payload, from);
+      });
+  phone_.wifi().set_disconnect_handler(
+      [this](NodeId peer) { on_link_lost(peer); });
+  phone_.wifi().set_group_owner_intent(0);  // UEs never want to own a group
+  if (params_.reassess_interval > Duration::zero()) {
+    reassess_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, params_.reassess_interval, [this] { reassess(); });
+  }
+}
+
+apps::HeartbeatApp& UeAgent::add_app(apps::AppProfile profile) {
+  return monitor_.integrate_app(std::move(profile));
+}
+
+void UeAgent::start(Duration heartbeat_offset) {
+  running_ = true;
+  monitor_.start_all(heartbeat_offset);
+  if (reassess_timer_) reassess_timer_->start();
+}
+
+void UeAgent::stop() {
+  running_ = false;
+  monitor_.stop_all();
+  if (reassess_timer_) reassess_timer_->stop();
+  if (state_ == LinkState::connected && relay_.valid()) {
+    phone_.wifi().disconnect(relay_);
+  }
+  state_ = LinkState::idle;
+  relay_ = NodeId{};
+}
+
+void UeAgent::on_heartbeat(const net::HeartbeatMessage& message) {
+  ++stats_.heartbeats;
+  if (!params_.use_d2d) {
+    send_via_cellular(message, /*is_fallback=*/false);
+    return;
+  }
+  switch (state_) {
+    case LinkState::connected:
+      send_via_d2d(message);
+      return;
+    case LinkState::discovering:
+    case LinkState::connecting:
+      awaiting_link_.push_back(message);
+      return;
+    case LinkState::idle:
+      if (sim_.now() < backoff_until_) {
+        send_via_cellular(message, /*is_fallback=*/false);
+        return;
+      }
+      awaiting_link_.push_back(message);
+      begin_discovery();
+      return;
+  }
+}
+
+void UeAgent::begin_discovery() {
+  state_ = LinkState::discovering;
+  ++stats_.discoveries;
+  phone_.wifi().start_discovery(
+      [this](const std::vector<d2d::DiscoveredPeer>& peers) {
+        on_discovery(peers);
+      });
+}
+
+void UeAgent::on_discovery(const std::vector<d2d::DiscoveredPeer>& peers) {
+  if (!running_) return;
+  const auto choice = detector_.match(peers);
+  if (!choice) {
+    D2DHB_LOG(debug) << "ue " << phone_.id().value << ": no suitable relay";
+    fail_d2d_attempt();
+    return;
+  }
+  ++stats_.matches;
+  trace(sim_.now(), TraceCategory::agent, phone_.id(),
+        "matched relay #" + std::to_string(choice->node.value) + " at ~" +
+            std::to_string(choice->estimated_distance.value) + " m");
+  state_ = LinkState::connecting;
+  phone_.wifi().connect(choice->node, [this, relay = choice->node](
+                                          Result<GroupId> result) {
+    if (!running_) return;
+    if (!result.ok()) {
+      ++stats_.connect_failures;
+      fail_d2d_attempt();
+      return;
+    }
+    ++stats_.connects;
+    state_ = LinkState::connected;
+    relay_ = relay;
+    current_backoff_ = Duration::zero();  // success resets the backoff
+    // Forward everything that queued up while we were pairing.
+    std::vector<net::HeartbeatMessage> queued;
+    queued.swap(awaiting_link_);
+    for (auto& m : queued) send_via_d2d(std::move(m));
+  });
+}
+
+void UeAgent::fail_d2d_attempt() {
+  state_ = LinkState::idle;
+  relay_ = NodeId{};
+  if (current_backoff_ == Duration::zero()) {
+    current_backoff_ = params_.retry_backoff;
+  } else {
+    const auto scaled = static_cast<std::int64_t>(
+        static_cast<double>(current_backoff_.count()) *
+        params_.backoff_multiplier);
+    current_backoff_ = std::min(params_.max_backoff, Duration{scaled});
+  }
+  backoff_until_ = sim_.now() + current_backoff_;
+  drain_queue_to_cellular();
+}
+
+void UeAgent::drain_queue_to_cellular() {
+  std::vector<net::HeartbeatMessage> queued;
+  queued.swap(awaiting_link_);
+  for (const auto& m : queued) send_via_cellular(m, /*is_fallback=*/false);
+}
+
+void UeAgent::send_via_d2d(net::HeartbeatMessage message) {
+  // Track before sending: the feedback covers the BS hop as well.
+  feedback_.track(message);
+  ++stats_.sent_via_d2d;
+  phone_.wifi().send(relay_, net::D2dPayload{std::move(message)},
+                     [this](Status status) {
+                       if (!status.ok()) {
+                         // Link died mid-send; the tracker entry will be
+                         // failed by the disconnect handler (or time out).
+                         D2DHB_LOG(debug)
+                             << "ue " << phone_.id().value
+                             << " d2d send failed: " << status.error().message;
+                       }
+                     });
+}
+
+void UeAgent::send_via_cellular(const net::HeartbeatMessage& message,
+                                bool is_fallback) {
+  if (!is_fallback) ++stats_.sent_via_cellular;
+  net::UplinkBundle bundle;
+  bundle.sender = phone_.id();
+  bundle.messages = {message};
+  phone_.modem().transmit(std::move(bundle));
+}
+
+void UeAgent::on_d2d_receive(const net::D2dPayload& payload, NodeId) {
+  if (const auto* ack = std::get_if<net::FeedbackAck>(&payload)) {
+    feedback_.acknowledge(ack->delivered);
+  }
+}
+
+void UeAgent::on_link_lost(NodeId peer) {
+  if (peer != relay_) return;
+  state_ = LinkState::idle;
+  relay_ = NodeId{};
+  // Anything unacknowledged may never be acked — retransmit now rather
+  // than risk the server deadline.
+  feedback_.fail_all_pending();
+  drain_queue_to_cellular();
+  if (handover_target_.valid()) {
+    // Planned switch: immediately pair with the chosen better relay.
+    const NodeId target = handover_target_;
+    handover_target_ = NodeId{};
+    state_ = LinkState::connecting;
+    phone_.wifi().connect(target, [this, target](Result<GroupId> result) {
+      if (!running_) return;
+      if (!result.ok()) {
+        ++stats_.connect_failures;
+        fail_d2d_attempt();
+        return;
+      }
+      ++stats_.connects;
+      ++stats_.handovers;
+      trace(sim_.now(), TraceCategory::agent, phone_.id(),
+            "handover to relay #" + std::to_string(target.value));
+      state_ = LinkState::connected;
+      relay_ = target;
+      current_backoff_ = Duration::zero();
+      std::vector<net::HeartbeatMessage> queued;
+      queued.swap(awaiting_link_);
+      for (auto& m : queued) send_via_d2d(std::move(m));
+    });
+    return;
+  }
+  ++stats_.link_losses;
+}
+
+void UeAgent::reassess() {
+  if (!running_ || state_ != LinkState::connected) return;
+  ++stats_.reassessments;
+  phone_.wifi().start_discovery(
+      [this](const std::vector<d2d::DiscoveredPeer>& peers) {
+        if (!running_ || state_ != LinkState::connected) return;
+        std::optional<d2d::DiscoveredPeer> current;
+        std::vector<d2d::DiscoveredPeer> others;
+        for (const auto& peer : peers) {
+          if (peer.node == relay_) {
+            current = peer;
+          } else {
+            others.push_back(peer);
+          }
+        }
+        if (!current) return;  // range loss is the link monitor's job
+        const auto candidate = detector_.match(others);
+        if (!candidate) return;
+        if (candidate->estimated_distance.value >=
+            params_.reassess_improvement *
+                current->estimated_distance.value) {
+          return;  // not enough of an improvement to pay the switch
+        }
+        // Switch: retransmit anything unacked over cellular (the old
+        // relay can no longer deliver feedback), then reconnect.
+        handover_target_ = candidate->node;
+        phone_.wifi().disconnect(relay_);
+      });
+}
+
+}  // namespace d2dhb::core

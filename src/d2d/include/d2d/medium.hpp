@@ -1,0 +1,78 @@
+// Shared Wi-Fi Direct medium: the "air" between radios.
+//
+// Tracks every registered radio with its mobility model, answers range
+// and discovery queries, and adds measurement noise to RSSI-derived
+// distance estimates (the pre-judgment input of Section III-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mobility/mobility.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::d2d {
+
+class WifiDirectRadio;
+
+/// What a relay advertises in its discovery beacon.
+struct RelayAdvert {
+  bool offers_relay{false};
+  std::uint32_t capacity_remaining{0};  ///< Heartbeats it will still accept.
+};
+
+/// One entry of a discovery scan result.
+struct DiscoveredPeer {
+  NodeId node;
+  Meters estimated_distance;  ///< RSSI-derived, noisy.
+  RelayAdvert advert;
+};
+
+class WifiDirectMedium {
+ public:
+  struct Params {
+    Meters range{30.0};            ///< Nominal Wi-Fi Direct reach.
+    double rssi_noise_stddev_m{0.3};
+    double discovery_miss_probability{0.0};  ///< Per-peer scan miss.
+    /// A group owner accepts at most this many clients (Android GOs top
+    /// out around 8); further connect attempts are refused.
+    std::size_t max_group_clients{8};
+  };
+
+  WifiDirectMedium(sim::Simulator& sim, Params params, Rng rng)
+      : sim_(sim), params_(params), rng_(rng) {}
+
+  /// Radios register on construction and unregister on destruction.
+  void attach(WifiDirectRadio& radio, const mobility::MobilityModel& mobility);
+  void detach(NodeId node);
+
+  /// True distance between two registered radios right now.
+  Meters distance(NodeId a, NodeId b) const;
+  bool in_range(NodeId a, NodeId b) const;
+  mobility::Vec2 position_of(NodeId node) const;
+
+  /// Peers currently discoverable and in range of `scanner`, with noisy
+  /// distance estimates. Peers may be missed per the miss probability.
+  std::vector<DiscoveredPeer> scan_from(NodeId scanner);
+
+  WifiDirectRadio* radio(NodeId node) const;
+  const Params& params() const { return params_; }
+
+ private:
+  struct Entry {
+    WifiDirectRadio* radio;
+    const mobility::MobilityModel* mobility;
+  };
+
+  sim::Simulator& sim_;
+  Params params_;
+  Rng rng_;
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace d2dhb::d2d

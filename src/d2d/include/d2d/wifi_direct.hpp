@@ -1,0 +1,145 @@
+// Per-node Wi-Fi Direct radio.
+//
+// Models the Android WifiP2pManager surface the prototype is built on
+// (Section IV-C): discovery scans, group-owner negotiation driven by
+// groupOwnerIntent (0-15), connection setup, message transfer, and
+// link-break detection when peers move out of range. Every phase charges
+// the node's EnergyMeter per the calibrated D2dEnergyProfile.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "d2d/energy_profile.hpp"
+#include "d2d/medium.hpp"
+#include "energy/energy_meter.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::d2d {
+
+/// Maximum value of Android's groupOwnerIntent.
+inline constexpr int kMaxGroupOwnerIntent = 15;
+
+class WifiDirectRadio {
+ public:
+  using DiscoveryCallback =
+      std::function<void(const std::vector<DiscoveredPeer>&)>;
+  using ConnectCallback = std::function<void(Result<GroupId>)>;
+  using SendCallback = std::function<void(Status)>;
+  using ReceiveHandler =
+      std::function<void(const net::D2dPayload&, NodeId from)>;
+  using DisconnectHandler = std::function<void(NodeId peer)>;
+
+  WifiDirectRadio(sim::Simulator& sim, NodeId owner, WifiDirectMedium& medium,
+                  const mobility::MobilityModel& mobility,
+                  energy::EnergyMeter& meter, D2dEnergyProfile profile,
+                  Rng rng);
+  ~WifiDirectRadio();
+  WifiDirectRadio(const WifiDirectRadio&) = delete;
+  WifiDirectRadio& operator=(const WifiDirectRadio&) = delete;
+
+  NodeId owner() const { return owner_; }
+
+  /// Relay-side advertisement. Discoverable radios appear in peers' scans.
+  void set_advert(RelayAdvert advert) { advert_ = advert; }
+  const RelayAdvert& advert() const { return advert_; }
+
+  /// groupOwnerIntent for GO negotiation; relays start at 15, UEs at 0
+  /// (Section IV-C).
+  void set_group_owner_intent(int intent);
+  int group_owner_intent() const { return intent_; }
+
+  /// Active scan: charges discovery energy on this radio and returns the
+  /// discoverable in-range peers after the scan window.
+  void start_discovery(DiscoveryCallback callback);
+
+  /// Whether this radio charges passive-discovery energy when scanned.
+  /// (Relays listen for scans; pure clients do not.)
+  void set_listening(bool listening) { listening_ = listening; }
+  bool listening() const { return listening_; }
+
+  /// GO negotiation + provisioning with `peer`. Charges connection
+  /// energy on both ends; fails if out of range. The side with higher
+  /// groupOwnerIntent becomes group owner.
+  void connect(NodeId peer, ConnectCallback callback);
+
+  /// Tears down the link with `peer` (both ends notified).
+  void disconnect(NodeId peer);
+
+  /// Tears down every link (device shutdown / battery death).
+  void disconnect_all();
+
+  /// Sends one D2D frame (heartbeat or feedback ack) to a connected
+  /// peer. Charges send energy here (distance-dependent for heartbeats)
+  /// and receive energy there; delivers after the transfer latency.
+  /// Fails with `disconnected` if the link is down or the peers drifted
+  /// out of range.
+  void send(NodeId peer, net::D2dPayload payload, SendCallback callback);
+
+  void set_receive_handler(ReceiveHandler handler) {
+    on_receive_ = std::move(handler);
+  }
+  void set_disconnect_handler(DisconnectHandler handler) {
+    on_disconnect_ = std::move(handler);
+  }
+
+  bool connected_to(NodeId peer) const { return links_.contains(peer); }
+  std::size_t link_count() const { return links_.size(); }
+  /// Group this radio belongs to (invalid if no links).
+  GroupId group() const { return group_; }
+  bool is_group_owner() const { return group_owner_; }
+
+  const mobility::MobilityModel& mobility() const { return mobility_; }
+  MicroAmpHours radio_charge() { return meter_.component_charge(component_); }
+
+  /// Called by the medium/peer internals — not public API.
+  struct Internal;
+
+ private:
+  friend class WifiDirectMedium;
+  friend struct Internal;
+
+  void charge_phase(const PhaseShape& shape, MicroAmpHours target);
+  void update_idle_current();
+  void establish_link(NodeId peer, GroupId group, bool as_owner);
+  void break_link(NodeId peer, bool notify_peer);
+  void poll_links();
+  void deliver(const net::D2dPayload& payload, NodeId from);
+
+  sim::Simulator& sim_;
+  NodeId owner_;
+  WifiDirectMedium& medium_;
+  const mobility::MobilityModel& mobility_;
+  energy::EnergyMeter& meter_;
+  energy::ComponentHandle component_;
+  D2dEnergyProfile profile_;
+  Rng rng_;
+
+  RelayAdvert advert_{};
+  int intent_{0};
+  bool listening_{false};
+  bool idle_current_on_{false};
+  /// End of the current passive-discovery response window. Concurrent
+  /// scans by several peers share one window — the radio is awake
+  /// either way — so passive energy is charged at most once per window.
+  TimePoint passive_window_end_{};
+
+  std::unordered_map<NodeId, GroupId> links_;
+  GroupId group_{};
+  bool group_owner_{false};
+
+  sim::PeriodicTimer link_monitor_;
+  ReceiveHandler on_receive_;
+  DisconnectHandler on_disconnect_;
+
+  static inline std::uint64_t next_group_{1};
+};
+
+}  // namespace d2dhb::d2d

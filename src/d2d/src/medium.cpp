@@ -1,0 +1,60 @@
+#include "d2d/medium.hpp"
+
+#include <stdexcept>
+
+#include "d2d/wifi_direct.hpp"
+
+namespace d2dhb::d2d {
+
+void WifiDirectMedium::attach(WifiDirectRadio& radio,
+                              const mobility::MobilityModel& mobility) {
+  entries_[radio.owner()] = Entry{&radio, &mobility};
+}
+
+void WifiDirectMedium::detach(NodeId node) { entries_.erase(node); }
+
+mobility::Vec2 WifiDirectMedium::position_of(NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) {
+    throw std::out_of_range("WifiDirectMedium: unknown node");
+  }
+  return it->second.mobility->position_at(sim_.now());
+}
+
+Meters WifiDirectMedium::distance(NodeId a, NodeId b) const {
+  return mobility::distance(position_of(a), position_of(b));
+}
+
+bool WifiDirectMedium::in_range(NodeId a, NodeId b) const {
+  return distance(a, b).value <= params_.range.value;
+}
+
+std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
+  std::vector<DiscoveredPeer> found;
+  const auto scanner_it = entries_.find(scanner);
+  if (scanner_it == entries_.end()) return found;
+  const mobility::Vec2 origin =
+      scanner_it->second.mobility->position_at(sim_.now());
+  for (const auto& [node, entry] : entries_) {
+    if (node == scanner) continue;
+    if (!entry.radio->listening()) continue;
+    const Meters d = mobility::distance(
+        origin, entry.mobility->position_at(sim_.now()));
+    if (d.value > params_.range.value) continue;
+    if (rng_.chance(params_.discovery_miss_probability)) continue;
+    const double noise = rng_.normal(0.0, params_.rssi_noise_stddev_m);
+    DiscoveredPeer peer;
+    peer.node = node;
+    peer.estimated_distance = Meters{std::max(0.0, d.value + noise)};
+    peer.advert = entry.radio->advert();
+    found.push_back(peer);
+  }
+  return found;
+}
+
+WifiDirectRadio* WifiDirectMedium::radio(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? nullptr : it->second.radio;
+}
+
+}  // namespace d2dhb::d2d

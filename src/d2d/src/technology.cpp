@@ -1,0 +1,64 @@
+#include "d2d/technology.hpp"
+
+namespace d2dhb::d2d {
+
+D2dTechnology wifi_direct_tech() {
+  D2dTechnology tech;
+  tech.name = "Wi-Fi Direct";
+  tech.medium = WifiDirectMedium::Params{};   // 30 m, mild RSSI noise
+  tech.energy = D2dEnergyProfile{};           // Table III/IV calibration
+  tech.widely_deployed = true;
+  return tech;
+}
+
+D2dTechnology bluetooth_tech() {
+  D2dTechnology tech;
+  tech.name = "Bluetooth";
+  tech.medium.range = Meters{9.0};
+  tech.medium.rssi_noise_stddev_m = 0.5;
+  tech.medium.discovery_miss_probability = 0.05;  // inquiry scans miss
+  // Lower radio power across the board, but a steeper distance penalty
+  // (class-2 link budget) and slower phases.
+  tech.energy.ue_discovery = MicroAmpHours{58.0};
+  tech.energy.relay_discovery = MicroAmpHours{52.0};
+  tech.energy.ue_connection = MicroAmpHours{30.0};
+  tech.energy.relay_connection = MicroAmpHours{28.0};
+  tech.energy.ue_send_reference = MicroAmpHours{34.0};
+  tech.energy.relay_receive = MicroAmpHours{60.0};
+  tech.energy.idle_connected = MilliAmps{0.4};
+  tech.energy.distance_factor = 0.35;  // hurts quickly beyond ~1 m
+  tech.energy.discovery_scan = seconds(11);  // inquiry + page are slow
+  tech.energy.connection_setup = seconds(4);
+  tech.energy.transfer_latency = milliseconds(600);
+  tech.widely_deployed = true;
+  return tech;
+}
+
+D2dTechnology lte_direct_tech() {
+  D2dTechnology tech;
+  tech.name = "LTE Direct";
+  tech.medium.range = Meters{500.0};
+  tech.medium.rssi_noise_stddev_m = 2.0;
+  // Network-assisted discovery: the expensive always-on scan is replaced
+  // by synchronized discovery slots.
+  tech.energy.ue_discovery = MicroAmpHours{18.0};
+  tech.energy.relay_discovery = MicroAmpHours{12.0};
+  tech.energy.ue_connection = MicroAmpHours{22.0};
+  tech.energy.relay_connection = MicroAmpHours{20.0};
+  // Licensed-band transmission costs more per message than Wi-Fi.
+  tech.energy.ue_send_reference = MicroAmpHours{95.0};
+  tech.energy.relay_receive = MicroAmpHours{110.0};
+  tech.energy.idle_connected = MilliAmps{0.8};
+  tech.energy.distance_factor = 0.0015;  // flat out to hundreds of meters
+  tech.energy.discovery_scan = seconds(2);
+  tech.energy.connection_setup = seconds(1);
+  tech.energy.transfer_latency = milliseconds(150);
+  tech.widely_deployed = false;
+  return tech;
+}
+
+std::vector<D2dTechnology> all_technologies() {
+  return {bluetooth_tech(), wifi_direct_tech(), lte_direct_tech()};
+}
+
+}  // namespace d2dhb::d2d

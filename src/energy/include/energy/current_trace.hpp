@@ -1,0 +1,46 @@
+// Instantaneous-current sampling, emulating the Power Monitor's 0.1 s
+// capture (Section V-A). Produces the current-vs-time traces of the
+// paper's Figs. 6 and 7.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "energy/energy_meter.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::energy {
+
+class CurrentTraceRecorder {
+ public:
+  struct Sample {
+    TimePoint when;
+    MilliAmps current;
+  };
+
+  /// Samples `meter.instantaneous()` every `interval` while running.
+  CurrentTraceRecorder(sim::Simulator& sim, EnergyMeter& meter,
+                       Duration interval = milliseconds(100));
+
+  void start();
+  void stop();
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+  /// Converts the trace into a chartable series (seconds, mA).
+  Series as_series(std::string name) const;
+
+  /// Trapezoidal charge estimate from the sampled trace — lets tests
+  /// check the sampler agrees with the meter's exact integration.
+  MicroAmpHours integrate_samples() const;
+
+ private:
+  sim::Simulator& sim_;
+  EnergyMeter& meter_;
+  sim::PeriodicTimer timer_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace d2dhb::energy

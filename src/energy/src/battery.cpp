@@ -1,0 +1,27 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace d2dhb::energy {
+
+Battery::Battery(EnergyMeter& meter, MicroAmpHours capacity,
+                 std::function<void()> on_depleted)
+    : meter_(meter), capacity_(capacity), on_depleted_(std::move(on_depleted)) {}
+
+MicroAmpHours Battery::poll() {
+  const MicroAmpHours used = meter_.total_charge();
+  const double remaining = std::max(0.0, capacity_.value - used.value);
+  if (!depleted_ && remaining <= 0.0) {
+    depleted_ = true;
+    if (on_depleted_) on_depleted_();
+  }
+  return MicroAmpHours{remaining};
+}
+
+double Battery::level() {
+  if (capacity_.value <= 0.0) return 0.0;
+  return poll().value / capacity_.value;
+}
+
+}  // namespace d2dhb::energy

@@ -1,0 +1,48 @@
+#include "energy/current_trace.hpp"
+
+#include <utility>
+
+namespace d2dhb::energy {
+
+CurrentTraceRecorder::CurrentTraceRecorder(sim::Simulator& sim,
+                                           EnergyMeter& meter,
+                                           Duration interval)
+    : sim_(sim),
+      meter_(meter),
+      timer_(sim, interval, [this] {
+        samples_.push_back(Sample{sim_.now(), meter_.instantaneous()});
+      }) {}
+
+void CurrentTraceRecorder::start() {
+  // Record the sample at t0 as well, like a capture that starts armed.
+  samples_.push_back(Sample{sim_.now(), meter_.instantaneous()});
+  timer_.start();
+}
+
+void CurrentTraceRecorder::stop() { timer_.stop(); }
+
+Series CurrentTraceRecorder::as_series(std::string name) const {
+  Series s;
+  s.name = std::move(name);
+  s.xs.reserve(samples_.size());
+  s.ys.reserve(samples_.size());
+  for (const auto& sample : samples_) {
+    s.xs.push_back(to_seconds(sample.when));
+    s.ys.push_back(sample.current.value);
+  }
+  return s;
+}
+
+MicroAmpHours CurrentTraceRecorder::integrate_samples() const {
+  MicroAmpHours total;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Duration dt = samples_[i].when - samples_[i - 1].when;
+    const MilliAmps avg{(samples_[i].current.value +
+                         samples_[i - 1].current.value) /
+                        2.0};
+    total += integrate(avg, dt);
+  }
+  return total;
+}
+
+}  // namespace d2dhb::energy

@@ -1,0 +1,94 @@
+#include "energy/energy_meter.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::energy {
+
+ComponentHandle EnergyMeter::register_component(std::string name,
+                                                MilliAmps initial) {
+  components_.push_back(Component{std::move(name), initial, MicroAmpHours{},
+                                  sim_.now()});
+  return ComponentHandle{components_.size() - 1};
+}
+
+void EnergyMeter::settle(Component& c) {
+  const TimePoint now = sim_.now();
+  if (now > c.last_update) {
+    c.accumulated += integrate(c.current, now - c.last_update);
+    c.last_update = now;
+  }
+}
+
+void EnergyMeter::set_current(ComponentHandle component, MilliAmps current) {
+  auto& c = components_.at(component.index);
+  settle(c);
+  c.current = current;
+}
+
+void EnergyMeter::add_load(ComponentHandle component, MilliAmps extra,
+                           Duration duration) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument("EnergyMeter::add_load: duration must be > 0");
+  }
+  {
+    auto& c = components_.at(component.index);
+    settle(c);
+    c.current += extra;
+  }
+  sim_.schedule_after(duration, [this, component, extra] {
+    auto& c = components_.at(component.index);
+    settle(c);
+    c.current -= extra;
+  });
+}
+
+MilliAmps EnergyMeter::instantaneous() const {
+  MilliAmps sum;
+  for (const auto& c : components_) sum += c.current;
+  return sum;
+}
+
+MilliAmps EnergyMeter::component_current(ComponentHandle component) const {
+  return components_.at(component.index).current;
+}
+
+MicroAmpHours EnergyMeter::total_charge() {
+  MicroAmpHours sum;
+  for (auto& c : components_) {
+    settle(c);
+    sum += c.accumulated;
+  }
+  return sum;
+}
+
+MicroAmpHours EnergyMeter::component_charge(ComponentHandle component) {
+  auto& c = components_.at(component.index);
+  settle(c);
+  return c.accumulated;
+}
+
+const std::string& EnergyMeter::component_name(
+    ComponentHandle component) const {
+  return components_.at(component.index).name;
+}
+
+void EnergyMeter::print_report(std::ostream& os) {
+  const double total = total_charge().value;  // settles everything
+  os << "  component            now (mA)   charge (uAh)   share\n";
+  for (const auto& c : components_) {
+    const double share = total > 0.0 ? c.accumulated.value / total : 0.0;
+    os << "  " << std::left << std::setw(20) << c.name << std::right
+       << std::fixed << std::setw(9) << std::setprecision(1)
+       << c.current.value << "   " << std::setw(12) << std::setprecision(1)
+       << c.accumulated.value << "   " << std::setw(5)
+       << std::setprecision(1) << share * 100.0 << "%\n";
+  }
+  os << "  " << std::left << std::setw(20) << "TOTAL" << std::right
+     << std::setw(9) << ' ' << "   " << std::fixed << std::setw(12)
+     << std::setprecision(1) << total << "\n";
+}
+
+}  // namespace d2dhb::energy

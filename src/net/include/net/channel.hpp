@@ -1,0 +1,46 @@
+// Point-to-point delivery with latency and loss, driven by the simulator.
+// Used for the BS -> IM-server backhaul and anywhere an unreliable hop
+// needs modeling.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::net {
+
+class Channel {
+ public:
+  struct Params {
+    Duration latency{milliseconds(50)};
+    double loss_probability{0.0};
+  };
+
+  using Receiver = std::function<void(const UplinkBundle&)>;
+
+  Channel(sim::Simulator& sim, Params params, Rng rng);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Queues a bundle; it arrives after the latency unless lost.
+  /// Returns whether the bundle survived the loss draw.
+  bool send(UplinkBundle bundle);
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  Params params_;
+  Rng rng_;
+  Receiver receiver_;
+  std::uint64_t sent_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace d2dhb::net

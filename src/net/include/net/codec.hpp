@@ -1,0 +1,39 @@
+// Wire codec for heartbeat messages and relay bundles.
+//
+// The framework forwards opaque, already-encrypted app heartbeats
+// (Section III-A discusses MQTT-over-SSL); what the relay needs on the
+// wire is the routing envelope: origin, app, sequencing, and the
+// scheduling parameters (period, expiration) Algorithm 1 consumes. This
+// codec defines that envelope — little-endian, length-prefixed, with a
+// checksum — so bundles survive a byte-level round trip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/message.hpp"
+
+namespace d2dhb::net {
+
+/// Serialized-format constants.
+inline constexpr std::uint16_t kCodecMagic = 0xD2D7;
+inline constexpr std::uint8_t kCodecVersion = 1;
+
+/// Appends the message's wire encoding to `out`.
+void encode(const HeartbeatMessage& message, std::vector<std::uint8_t>& out);
+
+/// Encodes a whole uplink bundle (header + each message).
+std::vector<std::uint8_t> encode(const UplinkBundle& bundle);
+
+/// Parses one heartbeat starting at `offset`; advances `offset` past it.
+Result<HeartbeatMessage> decode_heartbeat(
+    const std::vector<std::uint8_t>& buffer, std::size_t& offset);
+
+/// Parses a full bundle. Fails on bad magic/version/checksum/truncation.
+Result<UplinkBundle> decode_bundle(const std::vector<std::uint8_t>& buffer);
+
+/// Size in bytes the envelope adds per message (fixed).
+std::size_t envelope_overhead();
+
+}  // namespace d2dhb::net

@@ -1,0 +1,77 @@
+// Remote IM server with per-client expiration timers.
+//
+// "IM servers set expiration timers to determine a client is online or
+// not" (Section II-A). The server is the ground truth for whether the
+// framework's added forwarding delay ever knocked a client offline —
+// the correctness criterion of the scheduling algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/units.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::net {
+
+class ImServer {
+ public:
+  explicit ImServer(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Registers a client session. `expiry` is the server-side tolerance:
+  /// the client is considered offline if no heartbeat lands within
+  /// `expiry` of the previous deadline reset.
+  void register_client(NodeId node, AppId app, Duration expiry);
+
+  /// Delivers one heartbeat (called by the BS/backhaul). Updates the
+  /// session's deadline and records whether the heartbeat landed on time.
+  void deliver(const HeartbeatMessage& message);
+
+  /// Delivers every heartbeat in a bundle.
+  void deliver(const UplinkBundle& bundle);
+
+  struct SessionStats {
+    std::uint64_t delivered{0};
+    std::uint64_t on_time{0};
+    std::uint64_t late{0};          ///< Arrived after the deadline.
+    std::uint64_t offline_events{0};///< Deadline lapses observed.
+    Duration total_offline{};       ///< Accumulated offline time.
+    Duration total_latency{};       ///< Sum of (arrival - created_at).
+    TimePoint deadline{};           ///< Current expiration deadline.
+  };
+
+  /// True if the session's deadline has not lapsed as of now.
+  bool online(NodeId node, AppId app) const;
+  const SessionStats& stats(NodeId node, AppId app) const;
+
+  /// Aggregates across all sessions.
+  struct Totals {
+    std::uint64_t delivered{0};
+    std::uint64_t on_time{0};
+    std::uint64_t late{0};
+    std::uint64_t offline_events{0};
+    Duration total_latency{};
+
+    /// Mean end-to-end heartbeat delay (creation -> server), seconds.
+    double mean_latency_s() const {
+      return delivered == 0
+                 ? 0.0
+                 : to_seconds(total_latency) / static_cast<double>(delivered);
+    }
+  };
+  Totals totals() const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+
+ private:
+  using Key = std::pair<NodeId, AppId>;
+
+  sim::Simulator& sim_;
+  std::map<Key, SessionStats> sessions_;
+  std::map<Key, Duration> expiries_;
+};
+
+}  // namespace d2dhb::net

@@ -1,0 +1,24 @@
+#include "net/channel.hpp"
+
+#include <utility>
+
+namespace d2dhb::net {
+
+Channel::Channel(sim::Simulator& sim, Params params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+bool Channel::send(UplinkBundle bundle) {
+  ++sent_;
+  if (rng_.chance(params_.loss_probability)) {
+    ++dropped_;
+    return false;
+  }
+  sim_.schedule_after(params_.latency,
+                      [this, bundle = std::move(bundle)]() mutable {
+                        ++delivered_;
+                        if (receiver_) receiver_(bundle);
+                      });
+  return true;
+}
+
+}  // namespace d2dhb::net

@@ -1,0 +1,145 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace d2dhb::net {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  // Little-endian, fixed width.
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& in, std::size_t& offset,
+         T& value) {
+  if (offset + sizeof(T) > in.size()) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  }
+  offset += sizeof(T);
+  value = static_cast<T>(v);
+  return true;
+}
+
+/// Fletcher-16 over a byte range — cheap integrity check.
+std::uint16_t checksum(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t a = 0, b = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    a = (a + data[i]) % 255;
+    b = (b + a) % 255;
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+// Per-heartbeat envelope layout (all little-endian):
+//   u64 message id, u64 origin node, u64 app id, u64 sequence,
+//   u32 payload size (B), i64 period (us), i64 expiry (us),
+//   i64 created_at (us since epoch)
+constexpr std::size_t kEnvelopeBytes = 8 * 4 + 4 + 8 * 3;
+
+}  // namespace
+
+std::size_t envelope_overhead() { return kEnvelopeBytes; }
+
+void encode(const HeartbeatMessage& message,
+            std::vector<std::uint8_t>& out) {
+  put<std::uint64_t>(out, message.id.value);
+  put<std::uint64_t>(out, message.origin.value);
+  put<std::uint64_t>(out, message.app.value);
+  put<std::uint64_t>(out, message.seq);
+  put<std::uint32_t>(out, message.size.value);
+  put<std::int64_t>(out, message.period.count());
+  put<std::int64_t>(out, message.expiry.count());
+  put<std::int64_t>(out, message.created_at.time_since_epoch().count());
+}
+
+std::vector<std::uint8_t> encode(const UplinkBundle& bundle) {
+  std::vector<std::uint8_t> out;
+  put<std::uint16_t>(out, kCodecMagic);
+  put<std::uint8_t>(out, kCodecVersion);
+  put<std::uint64_t>(out, bundle.sender.value);
+  put<std::uint32_t>(out, bundle.extra_payload.value);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(bundle.messages.size()));
+  for (const auto& m : bundle.messages) encode(m, out);
+  const std::uint16_t sum = checksum(out.data(), out.size());
+  put<std::uint16_t>(out, sum);
+  return out;
+}
+
+Result<HeartbeatMessage> decode_heartbeat(
+    const std::vector<std::uint8_t>& buffer, std::size_t& offset) {
+  HeartbeatMessage m;
+  std::uint64_t id = 0, origin = 0, app = 0, seq = 0;
+  std::uint32_t size = 0;
+  std::int64_t period = 0, expiry = 0, created = 0;
+  if (!get(buffer, offset, id) || !get(buffer, offset, origin) ||
+      !get(buffer, offset, app) || !get(buffer, offset, seq) ||
+      !get(buffer, offset, size) || !get(buffer, offset, period) ||
+      !get(buffer, offset, expiry) || !get(buffer, offset, created)) {
+    return Result<HeartbeatMessage>{Errc::out_of_range,
+                                    "truncated heartbeat envelope"};
+  }
+  m.id = MessageId{id};
+  m.origin = NodeId{origin};
+  m.app = AppId{app};
+  m.seq = seq;
+  m.size = Bytes{size};
+  m.period = Duration{period};
+  m.expiry = Duration{expiry};
+  m.created_at = TimePoint{Duration{created}};
+  return m;
+}
+
+Result<UplinkBundle> decode_bundle(const std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < 2 + 1 + 8 + 4 + 4 + 2) {
+    return Result<UplinkBundle>{Errc::out_of_range, "bundle too short"};
+  }
+  // Verify trailer checksum over everything before it.
+  const std::size_t body = buffer.size() - 2;
+  std::size_t trailer_offset = body;
+  std::uint16_t stated = 0;
+  get(buffer, trailer_offset, stated);
+  if (checksum(buffer.data(), body) != stated) {
+    return Result<UplinkBundle>{Errc::rejected, "checksum mismatch"};
+  }
+
+  std::size_t offset = 0;
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  get(buffer, offset, magic);
+  get(buffer, offset, version);
+  if (magic != kCodecMagic) {
+    return Result<UplinkBundle>{Errc::rejected, "bad magic"};
+  }
+  if (version != kCodecVersion) {
+    return Result<UplinkBundle>{Errc::rejected, "unsupported version"};
+  }
+  UplinkBundle bundle;
+  std::uint64_t sender = 0;
+  std::uint32_t extra = 0, count = 0;
+  if (!get(buffer, offset, sender) || !get(buffer, offset, extra) ||
+      !get(buffer, offset, count)) {
+    return Result<UplinkBundle>{Errc::out_of_range, "truncated header"};
+  }
+  bundle.sender = NodeId{sender};
+  bundle.extra_payload = Bytes{extra};
+  bundle.messages.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto m = decode_heartbeat(buffer, offset);
+    if (!m.ok()) return Result<UplinkBundle>{m.error()};
+    bundle.messages.push_back(std::move(m).value());
+  }
+  if (offset != body) {
+    return Result<UplinkBundle>{Errc::rejected, "trailing garbage"};
+  }
+  return bundle;
+}
+
+}  // namespace d2dhb::net

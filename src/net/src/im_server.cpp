@@ -1,0 +1,68 @@
+#include "net/im_server.hpp"
+
+#include <stdexcept>
+
+namespace d2dhb::net {
+
+void ImServer::register_client(NodeId node, AppId app, Duration expiry) {
+  const Key key{node, app};
+  SessionStats stats;
+  stats.deadline = sim_.now() + expiry;
+  sessions_[key] = stats;
+  expiries_[key] = expiry;
+}
+
+void ImServer::deliver(const HeartbeatMessage& message) {
+  const Key key{message.origin, message.app};
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    // Auto-register on first contact using the message's own expiry.
+    register_client(message.origin, message.app, message.expiry);
+    it = sessions_.find(key);
+  }
+  SessionStats& s = it->second;
+  const TimePoint now = sim_.now();
+  ++s.delivered;
+  if (now >= message.created_at) s.total_latency += now - message.created_at;
+  if (now <= s.deadline) {
+    ++s.on_time;
+  } else {
+    ++s.late;
+    ++s.offline_events;
+    s.total_offline += now - s.deadline;
+  }
+  // A delivered heartbeat resets the expiration timer from now.
+  s.deadline = now + expiries_.at(key);
+}
+
+void ImServer::deliver(const UplinkBundle& bundle) {
+  for (const auto& m : bundle.messages) deliver(m);
+}
+
+bool ImServer::online(NodeId node, AppId app) const {
+  const auto it = sessions_.find(Key{node, app});
+  if (it == sessions_.end()) return false;
+  return sim_.now() <= it->second.deadline;
+}
+
+const ImServer::SessionStats& ImServer::stats(NodeId node, AppId app) const {
+  const auto it = sessions_.find(Key{node, app});
+  if (it == sessions_.end()) {
+    throw std::out_of_range("ImServer::stats: unknown session");
+  }
+  return it->second;
+}
+
+ImServer::Totals ImServer::totals() const {
+  Totals t;
+  for (const auto& [key, s] : sessions_) {
+    t.delivered += s.delivered;
+    t.on_time += s.on_time;
+    t.late += s.late;
+    t.offline_events += s.offline_events;
+    t.total_latency += s.total_latency;
+  }
+  return t;
+}
+
+}  // namespace d2dhb::net

@@ -1,0 +1,23 @@
+#include "net/message.hpp"
+
+namespace d2dhb::net {
+
+Bytes payload_size(const D2dPayload& payload) {
+  if (const auto* hb = std::get_if<HeartbeatMessage>(&payload)) {
+    return hb->size;
+  }
+  const auto& ack = std::get<FeedbackAck>(payload);
+  return Bytes{static_cast<std::uint32_t>(12 + 8 * ack.delivered.size())};
+}
+
+Bytes UplinkBundle::payload_size() const {
+  Bytes total = extra_payload;
+  for (const auto& m : messages) total += m.size;
+  if (messages.size() > 1) {
+    total += Bytes{kAggregationHeader.value *
+                   static_cast<std::uint32_t>(messages.size())};
+  }
+  return total;
+}
+
+}  // namespace d2dhb::net

@@ -1,0 +1,39 @@
+// Base station: terminates modem uplinks and forwards heartbeats over a
+// backhaul channel to the IM server. Owns the cell-wide signaling counter
+// so control-channel load can be inspected per cell.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "net/im_server.hpp"
+#include "radio/signaling.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::radio {
+
+class BaseStation {
+ public:
+  BaseStation(sim::Simulator& sim, net::ImServer& server,
+              net::Channel::Params backhaul, Rng rng);
+
+  /// Uplink entry point — wire this as every modem's UplinkHandler.
+  void receive(const net::UplinkBundle& bundle);
+
+  SignalingCounter& signaling() { return signaling_; }
+  const SignalingCounter& signaling() const { return signaling_; }
+
+  std::uint64_t bundles_received() const { return bundles_; }
+  std::uint64_t heartbeats_received() const { return heartbeats_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+
+ private:
+  net::Channel backhaul_;
+  SignalingCounter signaling_;
+  std::uint64_t bundles_{0};
+  std::uint64_t heartbeats_{0};
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace d2dhb::radio

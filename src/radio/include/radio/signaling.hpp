@@ -1,0 +1,70 @@
+// Layer-3 signaling accounting — the substitute for the paper's
+// NetOptiMaster capture (Section V-B, Fig. 14/15). Every control-plane
+// message a modem exchanges with the BS is recorded here with its
+// timestamp, giving both per-node totals and control-channel load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/units.hpp"
+
+namespace d2dhb::radio {
+
+enum class L3MessageType : std::uint8_t {
+  rrc_connection_request,
+  rrc_connection_setup,
+  rrc_connection_setup_complete,
+  radio_bearer_setup,
+  radio_bearer_setup_complete,
+  radio_bearer_reconfiguration,
+  physical_channel_reconfiguration,
+  rrc_connection_release,
+  rrc_connection_release_complete,
+  security_mode_command,
+  measurement_report,
+  /// Device-initiated fast dormancy request (3GPP SCRI): the phone asks
+  /// the network to release the connection right after its data burst
+  /// instead of waiting out the inactivity tails.
+  signaling_connection_release_indication,
+  kCount,
+};
+
+const char* to_string(L3MessageType type);
+
+class SignalingCounter {
+ public:
+  struct Record {
+    TimePoint when;
+    NodeId node;
+    L3MessageType type;
+  };
+
+  void record(TimePoint when, NodeId node, L3MessageType type);
+  void record_sequence(TimePoint when, NodeId node,
+                       const std::vector<L3MessageType>& sequence);
+
+  std::uint64_t total() const { return records_.size(); }
+  std::uint64_t count_for(NodeId node) const;
+  std::uint64_t count_of(L3MessageType type) const;
+
+  /// Peak number of L3 messages inside any sliding window of `window`
+  /// length — a proxy for instantaneous control-channel load (the
+  /// quantity that overloads during a signaling storm).
+  std::uint64_t peak_rate(Duration window) const;
+
+  const std::vector<Record>& records() const { return records_; }
+  void clear();
+
+ private:
+  std::vector<Record> records_;
+  std::map<NodeId, std::uint64_t> per_node_;
+  std::array<std::uint64_t, static_cast<std::size_t>(L3MessageType::kCount)>
+      per_type_{};
+};
+
+}  // namespace d2dhb::radio

@@ -1,0 +1,19 @@
+#include "radio/base_station.hpp"
+
+namespace d2dhb::radio {
+
+BaseStation::BaseStation(sim::Simulator& sim, net::ImServer& server,
+                         net::Channel::Params backhaul, Rng rng)
+    : backhaul_(sim, backhaul, rng) {
+  backhaul_.set_receiver(
+      [&server](const net::UplinkBundle& bundle) { server.deliver(bundle); });
+}
+
+void BaseStation::receive(const net::UplinkBundle& bundle) {
+  ++bundles_;
+  heartbeats_ += bundle.messages.size();
+  bytes_ += bundle.payload_size().value;
+  backhaul_.send(bundle);
+}
+
+}  // namespace d2dhb::radio

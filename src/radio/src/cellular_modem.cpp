@@ -1,0 +1,164 @@
+#include "radio/cellular_modem.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/tracelog.hpp"
+
+namespace d2dhb::radio {
+
+const char* to_string(RrcState s) {
+  switch (s) {
+    case RrcState::idle: return "IDLE";
+    case RrcState::promoting: return "PROMOTING";
+    case RrcState::high: return "HIGH";
+    case RrcState::transmitting: return "TRANSMITTING";
+    case RrcState::low: return "LOW";
+  }
+  return "?";
+}
+
+CellularModem::CellularModem(sim::Simulator& sim, NodeId owner,
+                             RrcProfile profile, energy::EnergyMeter& meter,
+                             SignalingCounter& signaling)
+    : sim_(sim),
+      owner_(owner),
+      profile_(std::move(profile)),
+      meter_(meter),
+      component_(meter.register_component("cellular:" + profile_.name,
+                                          profile_.idle_current)),
+      signaling_(signaling) {}
+
+MilliAmps CellularModem::state_current(RrcState s) const {
+  switch (s) {
+    case RrcState::idle: return profile_.idle_current;
+    case RrcState::promoting: return profile_.promotion_current;
+    case RrcState::high: return profile_.high_current;
+    case RrcState::transmitting:
+      return profile_.high_current + profile_.tx_extra_current;
+    case RrcState::low: return profile_.low_current;
+  }
+  return MilliAmps{0};
+}
+
+void CellularModem::enter(RrcState next) {
+  if (next != state_) {
+    trace(sim_.now(), TraceCategory::rrc, owner_,
+          std::string(to_string(state_)) + " -> " + to_string(next));
+  }
+  state_ = next;
+  meter_.set_current(component_, state_current(next));
+}
+
+void CellularModem::transmit(net::UplinkBundle bundle) {
+  queue_.push_back(std::move(bundle));
+  switch (state_) {
+    case RrcState::idle: {
+      // Full RRC connection establishment.
+      signaling_.record_sequence(sim_.now(), owner_, profile_.setup_sequence);
+      ++promotions_;
+      enter(RrcState::promoting);
+      const std::uint64_t epoch = epoch_;
+      sim_.schedule_after(profile_.promotion_delay, [this, epoch] {
+        if (epoch != epoch_) return;
+        enter(RrcState::high);
+        start_next_burst();
+      });
+      break;
+    }
+    case RrcState::low: {
+      // FACH -> DCH reconfiguration.
+      signaling_.record_sequence(sim_.now(), owner_,
+                                 profile_.low_to_high_sequence);
+      cancel_inactivity();
+      enter(RrcState::promoting);
+      const std::uint64_t epoch = epoch_;
+      sim_.schedule_after(profile_.reconfig_delay, [this, epoch] {
+        if (epoch != epoch_) return;
+        enter(RrcState::high);
+        start_next_burst();
+      });
+      break;
+    }
+    case RrcState::high:
+      cancel_inactivity();
+      start_next_burst();
+      break;
+    case RrcState::promoting:
+    case RrcState::transmitting:
+      // Already on the way up or busy — the queued bundle rides along.
+      break;
+  }
+}
+
+void CellularModem::start_next_burst() {
+  if (queue_.empty()) {
+    if (fast_dormancy_) {
+      // SCRI + immediate release: no tails, no inactivity timers.
+      signaling_.record(sim_.now(), owner_,
+                        L3MessageType::signaling_connection_release_indication);
+      signaling_.record_sequence(sim_.now(), owner_,
+                                 profile_.release_sequence);
+      enter(RrcState::idle);
+      return;
+    }
+    arm_high_inactivity();
+    return;
+  }
+  net::UplinkBundle bundle = std::move(queue_.front());
+  queue_.pop_front();
+
+  const Bytes payload = bundle.payload_size();
+  if (payload > profile_.rb_reconfig_threshold) {
+    signaling_.record_sequence(sim_.now(), owner_,
+                               profile_.rb_reconfig_sequence);
+  }
+  const Duration burst = std::max(
+      profile_.min_tx_duration,
+      seconds(static_cast<double>(payload.value) /
+              profile_.uplink_bytes_per_second));
+  enter(RrcState::transmitting);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(burst, [this, epoch, bundle = std::move(bundle)] {
+    if (epoch != epoch_) return;
+    ++bundles_sent_;
+    enter(RrcState::high);
+    if (uplink_) uplink_(bundle);
+    start_next_burst();
+  });
+}
+
+void CellularModem::arm_high_inactivity() {
+  cancel_inactivity();
+  inactivity_event_ = sim_.schedule_after(profile_.high_inactivity, [this] {
+    inactivity_event_ = {};
+    signaling_.record_sequence(sim_.now(), owner_,
+                               profile_.high_to_low_sequence);
+    enter(RrcState::low);
+    arm_low_inactivity();
+  });
+}
+
+void CellularModem::arm_low_inactivity() {
+  cancel_inactivity();
+  inactivity_event_ = sim_.schedule_after(profile_.low_inactivity, [this] {
+    inactivity_event_ = {};
+    signaling_.record_sequence(sim_.now(), owner_, profile_.release_sequence);
+    enter(RrcState::idle);
+  });
+}
+
+void CellularModem::cancel_inactivity() {
+  if (inactivity_event_.valid()) sim_.cancel(inactivity_event_);
+  inactivity_event_ = {};
+}
+
+void CellularModem::force_idle() {
+  cancel_inactivity();
+  queue_.clear();
+  ++epoch_;  // orphan any in-flight promotion/burst completions
+  enter(RrcState::idle);
+}
+
+}  // namespace d2dhb::radio

@@ -1,0 +1,78 @@
+#include "radio/signaling.hpp"
+
+#include <algorithm>
+
+namespace d2dhb::radio {
+
+const char* to_string(L3MessageType type) {
+  switch (type) {
+    case L3MessageType::rrc_connection_request:
+      return "RRC CONNECTION REQUEST";
+    case L3MessageType::rrc_connection_setup:
+      return "RRC CONNECTION SETUP";
+    case L3MessageType::rrc_connection_setup_complete:
+      return "RRC CONNECTION SETUP COMPLETE";
+    case L3MessageType::radio_bearer_setup:
+      return "RADIO BEARER SETUP";
+    case L3MessageType::radio_bearer_setup_complete:
+      return "RADIO BEARER SETUP COMPLETE";
+    case L3MessageType::radio_bearer_reconfiguration:
+      return "RADIO BEARER RECONFIGURATION";
+    case L3MessageType::physical_channel_reconfiguration:
+      return "PHYSICAL CHANNEL RECONFIGURATION";
+    case L3MessageType::rrc_connection_release:
+      return "RRC CONNECTION RELEASE";
+    case L3MessageType::rrc_connection_release_complete:
+      return "RRC CONNECTION RELEASE COMPLETE";
+    case L3MessageType::security_mode_command:
+      return "SECURITY MODE COMMAND";
+    case L3MessageType::measurement_report:
+      return "MEASUREMENT REPORT";
+    case L3MessageType::signaling_connection_release_indication:
+      return "SIGNALING CONNECTION RELEASE INDICATION";
+    case L3MessageType::kCount:
+      break;
+  }
+  return "UNKNOWN";
+}
+
+void SignalingCounter::record(TimePoint when, NodeId node,
+                              L3MessageType type) {
+  records_.push_back(Record{when, node, type});
+  ++per_node_[node];
+  ++per_type_[static_cast<std::size_t>(type)];
+}
+
+void SignalingCounter::record_sequence(
+    TimePoint when, NodeId node, const std::vector<L3MessageType>& sequence) {
+  for (const auto type : sequence) record(when, node, type);
+}
+
+std::uint64_t SignalingCounter::count_for(NodeId node) const {
+  const auto it = per_node_.find(node);
+  return it == per_node_.end() ? 0 : it->second;
+}
+
+std::uint64_t SignalingCounter::count_of(L3MessageType type) const {
+  return per_type_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t SignalingCounter::peak_rate(Duration window) const {
+  // Records arrive in nondecreasing time order (simulation time is
+  // monotone), so a two-pointer sweep suffices.
+  std::uint64_t peak = 0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < records_.size(); ++hi) {
+    while (records_[hi].when - records_[lo].when > window) ++lo;
+    peak = std::max<std::uint64_t>(peak, hi - lo + 1);
+  }
+  return peak;
+}
+
+void SignalingCounter::clear() {
+  records_.clear();
+  per_node_.clear();
+  per_type_.fill(0);
+}
+
+}  // namespace d2dhb::radio

@@ -1,0 +1,52 @@
+// Strategy shoot-out: the related-work baselines vs the paper's D2D
+// framework under identical mixed traffic. Produces the comparison the
+// paper argues qualitatively in Sections I and VI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+
+namespace d2dhb::scenario {
+
+struct BaselineConfig {
+  std::size_t phones{12};
+  double duration_s{3600.0};
+  apps::AppProfile app{apps::standard_app()};
+  /// Spatial layout for the D2D arm (the cellular-only strategies don't
+  /// care where phones stand).
+  double area_m{40.0};
+  double relay_fraction{0.25};
+  std::uint64_t seed{21};
+};
+
+struct StrategyMetrics {
+  std::string name;
+  std::uint64_t total_l3{0};
+  double total_radio_uah{0.0};
+  /// Mean heartbeat delay from creation to the IM server (s).
+  double mean_latency_s{0.0};
+  std::uint64_t heartbeats_delivered{0};
+  std::uint64_t offline_events{0};
+  /// How long the server would take to notice a silently dead client:
+  /// its expiration tolerance (3 effective heartbeat periods).
+  double offline_detection_s{0.0};
+  /// Strategy-specific notes (piggyback share etc.).
+  std::string note;
+};
+
+StrategyMetrics run_baseline_original(const BaselineConfig& config);
+StrategyMetrics run_baseline_period_extension(const BaselineConfig& config,
+                                              double factor);
+StrategyMetrics run_baseline_piggyback(const BaselineConfig& config);
+StrategyMetrics run_baseline_fast_dormancy(const BaselineConfig& config);
+/// The paper's framework, with the same phones also carrying their data
+/// traffic over cellular directly (relays only handle heartbeats).
+StrategyMetrics run_d2d_framework_arm(const BaselineConfig& config);
+
+/// All five, in presentation order.
+std::vector<StrategyMetrics> run_all_strategies(const BaselineConfig& config);
+
+}  // namespace d2dhb::scenario

@@ -1,0 +1,75 @@
+// High-density crowd scenarios — the deployment setting that motivates
+// the paper (Section II-D: "the signaling storm problem usually occurs
+// in the region with high-density crowd"). Many phones, a fraction of
+// them volunteering as relays, real heartbeat periods, optional
+// mobility-driven link churn.
+#pragma once
+
+#include <cstdint>
+
+#include <optional>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "core/detector.hpp"
+#include "core/operator_selection.hpp"
+#include "net/im_server.hpp"
+
+namespace d2dhb::scenario {
+
+struct CrowdConfig {
+  std::size_t phones{60};
+  double relay_fraction{0.2};
+  double area_m{120.0};
+  std::size_t clusters{4};
+  double cluster_stddev_m{8.0};
+  /// When true, non-relay phones move (random waypoint) and D2D links
+  /// churn; relays stay put (kiosk-like volunteers).
+  bool mobile{false};
+  double duration_s{3600.0};
+  apps::AppProfile app{apps::standard_app()};
+  std::size_t relay_capacity{7};
+  /// Relay-matching strategy for UEs (ablation: nearest vs random).
+  core::MatchStrategy match_strategy{core::MatchStrategy::nearest};
+  double match_max_distance_m{12.0};
+  /// When set, the operator picks which phones relay (Section I) using
+  /// this policy with `relay_fraction`·phones as the budget; otherwise
+  /// the first N phones relay (the legacy layout).
+  std::optional<core::SelectionPolicy> operator_policy{};
+  /// Cellular cells covering the area, laid out as an n×n-ish grid
+  /// (1 = the single-BS setup). Control-channel load is per cell.
+  std::size_t cell_grid{1};
+  /// Fraction of the heartbeat period over which phones' first beats are
+  /// spread. Small values synchronize the crowd — the "signaling storm"
+  /// worst case where every phone hits the control channel at once.
+  double stagger_fraction{0.8};
+  std::uint64_t seed{7};
+};
+
+struct CrowdMetrics {
+  std::uint64_t phones{0};
+  std::uint64_t relays{0};
+  std::uint64_t total_l3{0};
+  /// Worst per-cell sliding-window peak — the storm metric.
+  std::uint64_t peak_l3_per_10s{0};
+  std::vector<std::uint64_t> l3_per_cell;
+  double total_radio_uah{0.0};
+  double mean_radio_uah_per_phone{0.0};
+  double relay_radio_uah{0.0};  ///< Sum over relay phones.
+  double ue_radio_uah{0.0};     ///< Sum over UE phones.
+  std::uint64_t heartbeats_emitted{0};
+  std::uint64_t heartbeats_delivered{0};
+  std::uint64_t forwarded_via_d2d{0};
+  std::uint64_t fallbacks{0};
+  std::uint64_t link_losses{0};
+  net::ImServer::Totals server;
+  double credits_issued{0.0};
+  /// Fraction of UEs within D2D matching range of a relay at layout
+  /// time (only meaningful when operator selection ran).
+  double relay_coverage{0.0};
+};
+
+CrowdMetrics run_d2d_crowd(const CrowdConfig& config);
+CrowdMetrics run_original_crowd(const CrowdConfig& config);
+
+}  // namespace d2dhb::scenario

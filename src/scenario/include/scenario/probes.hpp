@@ -1,0 +1,51 @@
+// Fine-grained measurement probes: the per-phase energy attribution of
+// Table III, the per-message receive cost of Table IV, and the 0.1 s
+// current traces of Figs. 6 and 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace d2dhb::scenario {
+
+struct PhaseEnergy {
+  double discovery_uah{0.0};
+  double connection_uah{0.0};
+  double forwarding_uah{0.0};
+};
+
+struct PhaseProbeResult {
+  PhaseEnergy ue;
+  PhaseEnergy relay;
+};
+
+/// Table III: drives one UE and one relay (1 m apart) through discovery,
+/// connection, and one forwarded heartbeat, attributing the Wi-Fi Direct
+/// radio's charge to each phase.
+PhaseProbeResult measure_phases(std::uint64_t seed = 1);
+
+/// Table IV: relay Wi-Fi charge after receiving 1..max_messages
+/// forwarded heartbeats (cumulative, µAh).
+std::vector<double> measure_receive_energy(std::size_t max_messages = 7,
+                                           std::uint64_t seed = 1);
+
+struct TraceResult {
+  Series series;      ///< (seconds, mA) at 0.1 s sampling.
+  double peak_ma{0.0};
+  double window_s{0.0};
+  double charge_uah{0.0};  ///< Radio charge over the traced window.
+};
+
+/// Fig. 6: instant current while sending one heartbeat over an
+/// established D2D link.
+TraceResult trace_d2d_transfer(std::uint64_t seed = 1);
+
+/// Fig. 7: instant current while sending the same heartbeat over
+/// cellular (full RRC cycle).
+TraceResult trace_cellular_transfer(std::uint64_t seed = 1,
+                                    bool use_lte = false);
+
+}  // namespace d2dhb::scenario

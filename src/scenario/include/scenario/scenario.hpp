@@ -1,0 +1,108 @@
+// Experiment assembly: one Scenario owns the simulator, the shared
+// Wi-Fi Direct medium, the base station + IM server, the incentive
+// ledger, and every phone and agent added to it. Benches, examples, and
+// integration tests build their worlds through this class.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "core/original_agent.hpp"
+#include "core/phone.hpp"
+#include "core/relay_agent.hpp"
+#include "core/ue_agent.hpp"
+#include "d2d/medium.hpp"
+#include "net/im_server.hpp"
+#include "radio/base_station.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::scenario {
+
+class Scenario {
+ public:
+  struct Params {
+    std::uint64_t seed{42};
+    d2d::WifiDirectMedium::Params medium{};
+    net::Channel::Params backhaul{};
+    /// Base-station sites. Empty = one cell at the origin. Phones attach
+    /// to the nearest site at creation time (cell selection; the
+    /// simulation does not model handover between cells).
+    std::vector<mobility::Vec2> cell_sites{};
+  };
+
+  Scenario();
+  explicit Scenario(Params params);
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  d2d::WifiDirectMedium& medium() { return medium_; }
+  net::ImServer& server() { return server_; }
+  /// The cell a phone attaches to, by index.
+  radio::BaseStation& bs(std::size_t cell = 0) { return *cells_.at(cell); }
+  std::size_t cell_count() const { return cells_.size(); }
+  mobility::Vec2 cell_site(std::size_t cell) const {
+    return sites_.at(cell);
+  }
+  /// Which cell serves this phone.
+  std::size_t cell_of(NodeId node) const { return serving_cell_.at(node); }
+  radio::BaseStation& serving_bs(const core::Phone& phone) {
+    return *cells_.at(serving_cell_.at(phone.id()));
+  }
+  /// Control-plane totals summed over every cell.
+  std::uint64_t total_l3() const;
+  /// Largest per-cell peak L3 rate in any `window` (the storm metric is
+  /// per control channel, i.e. per cell).
+  std::uint64_t worst_cell_peak(Duration window) const;
+
+  core::IncentiveLedger& ledger() { return ledger_; }
+  IdGenerator<MessageId>& message_ids() { return message_ids_; }
+  Rng fork_rng() { return rng_.fork(); }
+
+  /// Adds a phone; the id is assigned automatically (1, 2, 3, ...) and
+  /// the phone attaches to the nearest cell site.
+  core::Phone& add_phone(core::PhoneConfig config);
+
+  core::RelayAgent& add_relay(core::Phone& phone,
+                              core::RelayAgent::Params params);
+  core::UeAgent& add_ue(core::Phone& phone, core::UeAgent::Params params);
+  core::OriginalAgent& add_original(core::Phone& phone,
+                                    apps::AppProfile app);
+
+  /// Registers the phone's primary app session at the server with the
+  /// given tolerance (commercial servers allow ~3 heartbeat periods).
+  void register_session(const core::Phone& phone, Duration tolerance);
+  /// Registers a specific app instance (for phones running several).
+  void register_session(const core::Phone& phone, AppId app,
+                        Duration tolerance);
+
+  std::vector<std::unique_ptr<core::Phone>>& phones() { return phones_; }
+  std::vector<std::unique_ptr<core::RelayAgent>>& relays() { return relays_; }
+  std::vector<std::unique_ptr<core::UeAgent>>& ues() { return ues_; }
+  std::vector<std::unique_ptr<core::OriginalAgent>>& originals() {
+    return originals_;
+  }
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+ private:
+  Rng rng_;
+  sim::Simulator sim_;
+  d2d::WifiDirectMedium medium_;
+  net::ImServer server_;
+  std::vector<mobility::Vec2> sites_;
+  std::vector<std::unique_ptr<radio::BaseStation>> cells_;
+  std::unordered_map<NodeId, std::size_t> serving_cell_;
+  core::IncentiveLedger ledger_;
+  IdGenerator<NodeId> node_ids_;
+  IdGenerator<MessageId> message_ids_;
+  std::vector<std::unique_ptr<core::Phone>> phones_;
+  std::vector<std::unique_ptr<core::RelayAgent>> relays_;
+  std::vector<std::unique_ptr<core::UeAgent>> ues_;
+  std::vector<std::unique_ptr<core::OriginalAgent>> originals_;
+};
+
+}  // namespace d2dhb::scenario

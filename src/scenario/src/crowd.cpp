@@ -1,0 +1,182 @@
+#include "scenario/crowd.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "scenario/scenario.hpp"
+
+namespace d2dhb::scenario {
+
+namespace {
+
+std::unique_ptr<mobility::MobilityModel> make_mobility(
+    const CrowdConfig& config, mobility::Vec2 start, bool moves, Rng rng) {
+  if (!moves) return std::make_unique<mobility::StaticMobility>(start);
+  mobility::RandomWaypoint::Params params;
+  params.area_min = {0.0, 0.0};
+  params.area_max = {config.area_m, config.area_m};
+  params.min_speed_mps = 0.3;
+  params.max_speed_mps = 1.2;
+  params.max_pause = seconds(60);
+  return std::make_unique<mobility::RandomWaypoint>(params, start, rng);
+}
+
+std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {
+  std::vector<mobility::Vec2> sites;
+  if (config.cell_grid <= 1) return sites;  // default single cell
+  // Square-ish grid covering the area.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.cell_grid))));
+  const double step = config.area_m / static_cast<double>(side);
+  for (std::size_t i = 0; i < config.cell_grid; ++i) {
+    const double x = (0.5 + static_cast<double>(i % side)) * step;
+    const double y = (0.5 + static_cast<double>(i / side)) * step;
+    sites.push_back({x, y});
+  }
+  return sites;
+}
+
+void collect_common(Scenario& world, const CrowdConfig& config,
+                    CrowdMetrics& metrics) {
+  metrics.phones = world.phones().size();
+  metrics.total_l3 = world.total_l3();
+  metrics.peak_l3_per_10s = world.worst_cell_peak(seconds(10));
+  for (std::size_t c = 0; c < world.cell_count(); ++c) {
+    metrics.l3_per_cell.push_back(world.bs(c).signaling().total());
+  }
+  for (auto& phone : world.phones()) {
+    metrics.total_radio_uah += phone->radio_charge().value;
+  }
+  if (!world.phones().empty()) {
+    metrics.mean_radio_uah_per_phone =
+        metrics.total_radio_uah / static_cast<double>(world.phones().size());
+  }
+  metrics.server = world.server().totals();
+  metrics.heartbeats_delivered = metrics.server.delivered;
+  metrics.credits_issued = world.ledger().total_issued();
+  (void)config;
+}
+
+}  // namespace
+
+CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
+  Scenario world{
+      Scenario::Params{config.seed, {}, {}, cell_grid_sites(config)}};
+  Rng layout_rng = world.fork_rng();
+  const auto positions = mobility::clustered_crowd(
+      config.phones, config.clusters, {0.0, 0.0},
+      {config.area_m, config.area_m}, config.cluster_stddev_m, layout_rng);
+
+  const auto relay_count = static_cast<std::size_t>(
+      std::round(config.relay_fraction * static_cast<double>(config.phones)));
+
+  // Which phones relay: operator-selected or simply the first N.
+  std::vector<bool> is_relay_at(config.phones, false);
+  double relay_coverage = 0.0;
+  if (config.operator_policy.has_value()) {
+    std::vector<core::RelayCandidate> candidates;
+    candidates.reserve(config.phones);
+    for (std::size_t i = 0; i < config.phones; ++i) {
+      // Node ids are assigned 1..N in insertion order below.
+      candidates.push_back(core::RelayCandidate{
+          NodeId{i + 1}, positions[i], 1.0, true});
+    }
+    core::SelectionConfig selection;
+    selection.policy = *config.operator_policy;
+    selection.coverage_radius = Meters{config.match_max_distance_m};
+    selection.max_relays = relay_count;
+    Rng selection_rng = world.fork_rng();
+    const core::SelectionResult chosen =
+        core::select_relays(candidates, selection, selection_rng);
+    for (const NodeId node : chosen.relays) {
+      is_relay_at[node.value - 1] = true;
+    }
+    relay_coverage = chosen.covered_fraction;
+  } else {
+    for (std::size_t i = 0; i < relay_count; ++i) is_relay_at[i] = true;
+  }
+
+  for (std::size_t i = 0; i < config.phones; ++i) {
+    const bool is_relay = is_relay_at[i];
+    core::PhoneConfig pc;
+    pc.mobility = make_mobility(config, positions[i],
+                                config.mobile && !is_relay,
+                                world.fork_rng());
+    core::Phone& phone = world.add_phone(std::move(pc));
+    if (is_relay) {
+      core::RelayAgent::Params params;
+      params.own_app = config.app;
+      params.scheduler.capacity = config.relay_capacity;
+      params.scheduler.max_own_delay = config.app.heartbeat_period;
+      core::RelayAgent& relay = world.add_relay(phone, params);
+      world.register_session(phone, 3 * config.app.heartbeat_period);
+      relay.start(seconds(to_seconds(config.app.heartbeat_period) *
+                          (0.1 + config.stagger_fraction * static_cast<double>(i) /
+                                     static_cast<double>(config.phones))));
+    } else {
+      core::UeAgent::Params params;
+      params.app = config.app;
+      params.match.strategy = config.match_strategy;
+      params.match.max_distance = Meters{config.match_max_distance_m};
+      params.feedback_timeout =
+          config.app.heartbeat_period + seconds(30);
+      core::UeAgent& ue = world.add_ue(phone, params);
+      world.register_session(phone, 3 * config.app.heartbeat_period);
+      ue.start(seconds(to_seconds(config.app.heartbeat_period) *
+                       (0.1 + config.stagger_fraction * static_cast<double>(i) /
+                                  static_cast<double>(config.phones))));
+    }
+  }
+
+  world.sim().run_until(TimePoint{} + seconds(config.duration_s));
+
+  CrowdMetrics metrics;
+  metrics.relays = world.relays().size();
+  metrics.relay_coverage = relay_coverage;
+  for (auto& relay : world.relays()) {
+    metrics.heartbeats_emitted += relay->stats().own_heartbeats;
+    metrics.forwarded_via_d2d += relay->stats().forwarded_received;
+    metrics.relay_radio_uah += relay->phone().radio_charge().value;
+  }
+  for (auto& ue : world.ues()) {
+    metrics.heartbeats_emitted += ue->stats().heartbeats;
+    metrics.fallbacks += ue->stats().fallback_cellular;
+    metrics.link_losses += ue->stats().link_losses;
+    metrics.ue_radio_uah += ue->phone().radio_charge().value;
+  }
+  collect_common(world, config, metrics);
+  return metrics;
+}
+
+CrowdMetrics run_original_crowd(const CrowdConfig& config) {
+  Scenario world{
+      Scenario::Params{config.seed, {}, {}, cell_grid_sites(config)}};
+  Rng layout_rng = world.fork_rng();
+  const auto positions = mobility::clustered_crowd(
+      config.phones, config.clusters, {0.0, 0.0},
+      {config.area_m, config.area_m}, config.cluster_stddev_m, layout_rng);
+
+  for (std::size_t i = 0; i < config.phones; ++i) {
+    core::PhoneConfig pc;
+    pc.mobility =
+        make_mobility(config, positions[i], config.mobile, world.fork_rng());
+    core::Phone& phone = world.add_phone(std::move(pc));
+    core::OriginalAgent& agent = world.add_original(phone, config.app);
+    world.register_session(phone, 3 * config.app.heartbeat_period);
+    agent.start(seconds(to_seconds(config.app.heartbeat_period) *
+                        (0.1 + config.stagger_fraction * static_cast<double>(i) /
+                                   static_cast<double>(config.phones))));
+  }
+
+  world.sim().run_until(TimePoint{} + seconds(config.duration_s));
+
+  CrowdMetrics metrics;
+  metrics.relays = 0;
+  for (auto& agent : world.originals()) {
+    metrics.heartbeats_emitted += agent->heartbeats_sent();
+  }
+  collect_common(world, config, metrics);
+  return metrics;
+}
+
+}  // namespace d2dhb::scenario

@@ -1,0 +1,96 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::scenario {
+
+Scenario::Scenario() : Scenario(Params{}) {}
+
+Scenario::Scenario(Params params)
+    : rng_(params.seed),
+      medium_(sim_, params.medium, rng_.fork()),
+      server_(sim_) {
+  sites_ = params.cell_sites.empty()
+               ? std::vector<mobility::Vec2>{{0.0, 0.0}}
+               : params.cell_sites;
+  cells_.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    cells_.push_back(std::make_unique<radio::BaseStation>(
+        sim_, server_, params.backhaul, rng_.fork()));
+  }
+}
+
+std::uint64_t Scenario::total_l3() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) total += cell->signaling().total();
+  return total;
+}
+
+std::uint64_t Scenario::worst_cell_peak(Duration window) const {
+  std::uint64_t worst = 0;
+  for (const auto& cell : cells_) {
+    worst = std::max(worst, cell->signaling().peak_rate(window));
+  }
+  return worst;
+}
+
+core::Phone& Scenario::add_phone(core::PhoneConfig config) {
+  if (!config.mobility) {
+    throw std::invalid_argument("Scenario::add_phone: mobility required");
+  }
+  const NodeId id = node_ids_.next();
+  // Cell selection: nearest site to the phone's initial position.
+  const mobility::Vec2 at = config.mobility->position_at(sim_.now());
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const double d = mobility::distance(at, sites_[i]).value;
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  serving_cell_[id] = best;
+  phones_.push_back(std::make_unique<core::Phone>(
+      sim_, id, std::move(config), medium_, cells_[best]->signaling(),
+      rng_.fork()));
+  return *phones_.back();
+}
+
+core::RelayAgent& Scenario::add_relay(core::Phone& phone,
+                                      core::RelayAgent::Params params) {
+  relays_.push_back(std::make_unique<core::RelayAgent>(
+      sim_, phone, std::move(params), serving_bs(phone), message_ids_,
+      &ledger_));
+  return *relays_.back();
+}
+
+core::UeAgent& Scenario::add_ue(core::Phone& phone,
+                                core::UeAgent::Params params) {
+  ues_.push_back(std::make_unique<core::UeAgent>(
+      sim_, phone, std::move(params), serving_bs(phone), message_ids_,
+      rng_.fork()));
+  return *ues_.back();
+}
+
+core::OriginalAgent& Scenario::add_original(core::Phone& phone,
+                                            apps::AppProfile app) {
+  originals_.push_back(std::make_unique<core::OriginalAgent>(
+      sim_, phone, std::move(app), serving_bs(phone), message_ids_));
+  return *originals_.back();
+}
+
+void Scenario::register_session(const core::Phone& phone,
+                                Duration tolerance) {
+  register_session(phone, AppId{phone.id().value}, tolerance);
+}
+
+void Scenario::register_session(const core::Phone& phone, AppId app,
+                                Duration tolerance) {
+  server_.register_client(phone.id(), app, tolerance);
+}
+
+}  // namespace d2dhb::scenario

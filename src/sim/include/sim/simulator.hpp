@@ -1,0 +1,110 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over simulated time. Events scheduled for
+// the same instant run in scheduling order (FIFO), which keeps runs fully
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace d2dhb::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value{0};
+  constexpr auto operator<=>(const EventId&) const = default;
+  constexpr bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at the epoch (t = 0).
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimePoint t, Callback fn);
+
+  /// Schedules `fn` after `delay` (must be >= 0).
+  EventId schedule_after(Duration delay, Callback fn);
+
+  /// Cancels a pending event. Safe to call for already-fired or already-
+  /// cancelled events; returns whether the event was still pending.
+  bool cancel(EventId id);
+
+  /// Executes the next event, advancing time. Returns false if the queue
+  /// was empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have executed.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= `t`, then advances the clock to exactly `t`
+  /// (so idle intervals at the end of an experiment are accounted for).
+  void run_until(TimePoint t);
+
+  std::uint64_t executed_events() const { return executed_; }
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Scheduled {
+    TimePoint when;
+    std::uint64_t seq;  ///< Tie-breaker: FIFO within the same instant.
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeating timer built on the simulator. Survives cancellation and
+/// restart; owner must outlive the simulator run or call stop().
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, Simulator::Callback on_tick);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts ticking; the first tick fires one period from now (or after
+  /// `initial_delay` when given).
+  void start();
+  void start_after(Duration initial_delay);
+  void stop();
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulator& sim_;
+  Duration period_;
+  Simulator::Callback on_tick_;
+  EventId pending_{};
+  bool running_{false};
+};
+
+}  // namespace d2dhb::sim

@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::sim {
+
+EventId Simulator::schedule_at(TimePoint t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push(Scheduled{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_after(Duration delay, Callback fn) {
+  if (delay < Duration::zero()) {
+    throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Scheduled top = heap_.top();
+    heap_.pop();
+    const auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(top.id);
+    assert(cb_it != callbacks_.end());
+    Callback fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    assert(top.when >= now_);
+    now_ = top.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries.
+    const Scheduled top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.when > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period,
+                             Simulator::Callback on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  if (period_ <= Duration::zero()) {
+    throw std::invalid_argument("PeriodicTimer: period must be positive");
+  }
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Duration initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_.valid()) sim_.cancel(pending_);
+  pending_ = EventId{};
+  running_ = false;
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = EventId{};
+    // Re-arm before the tick so the callback may stop() the timer.
+    arm(period_);
+    on_tick_();
+  });
+}
+
+}  // namespace d2dhb::sim

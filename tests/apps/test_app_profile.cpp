@@ -1,0 +1,56 @@
+#include "apps/app_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::apps {
+namespace {
+
+TEST(AppProfile, WeChatMatchesPaper) {
+  const AppProfile p = wechat();
+  EXPECT_EQ(p.name, "WeChat");
+  EXPECT_EQ(p.heartbeat_period, seconds(270));
+  EXPECT_EQ(p.heartbeat_size.value, 74u);
+  EXPECT_DOUBLE_EQ(p.heartbeat_share, 0.50);
+}
+
+TEST(AppProfile, QqMatchesPaper) {
+  const AppProfile p = qq();
+  EXPECT_EQ(p.heartbeat_period, seconds(300));
+  EXPECT_EQ(p.heartbeat_size.value, 378u);
+  EXPECT_DOUBLE_EQ(p.heartbeat_share, 0.526);
+}
+
+TEST(AppProfile, WhatsAppMatchesPaper) {
+  const AppProfile p = whatsapp();
+  EXPECT_EQ(p.heartbeat_period, seconds(240));
+  EXPECT_EQ(p.heartbeat_size.value, 66u);
+  EXPECT_DOUBLE_EQ(p.heartbeat_share, 0.619);
+}
+
+TEST(AppProfile, FacebookShareMatchesTableI) {
+  EXPECT_DOUBLE_EQ(facebook().heartbeat_share, 0.484);
+}
+
+TEST(AppProfile, StandardAppUses54Bytes) {
+  const AppProfile p = standard_app();
+  EXPECT_EQ(p.heartbeat_size.value, 54u);
+  EXPECT_EQ(p.heartbeat_period, seconds(270));
+}
+
+TEST(AppProfile, PopularAppsInTableOrder) {
+  const auto all = popular_apps();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "WeChat");
+  EXPECT_EQ(all[1].name, "WhatsApp");
+  EXPECT_EQ(all[2].name, "QQ");
+  EXPECT_EQ(all[3].name, "Facebook");
+}
+
+TEST(AppProfile, ExpiryDefaultsToOnePeriod) {
+  for (const auto& p : popular_apps()) {
+    EXPECT_EQ(p.expiry, p.heartbeat_period) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace d2dhb::apps

@@ -1,0 +1,84 @@
+#include "apps/traffic_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace d2dhb::apps {
+namespace {
+
+TEST(TrafficMix, DataRateImpliedByShare) {
+  sim::Simulator sim;
+  MixedTrafficGenerator gen{sim, wechat(), Rng{1},
+                            [](MixedTrafficGenerator::Kind, Bytes) {}};
+  // share = 0.5 => data rate equals heartbeat rate (1/270 s).
+  EXPECT_NEAR(gen.data_rate_per_second(), 1.0 / 270.0, 1e-12);
+}
+
+TEST(TrafficMix, ObservedShareConvergesToProfile) {
+  // Table I reproduction at unit scale: run one app for a long simulated
+  // stretch and check the heartbeat share matches the profile.
+  for (const AppProfile& profile : popular_apps()) {
+    sim::Simulator sim;
+    MixedTrafficGenerator gen{sim, profile, Rng{profile.heartbeat_size.value},
+                              [](MixedTrafficGenerator::Kind, Bytes) {}};
+    gen.start();
+    sim.run_until(TimePoint{} + seconds(3600.0 * 24 * 7));  // one week
+    EXPECT_NEAR(gen.heartbeat_share(), profile.heartbeat_share, 0.03)
+        << profile.name;
+  }
+}
+
+TEST(TrafficMix, HeartbeatsArePeriodic) {
+  sim::Simulator sim;
+  std::uint64_t heartbeats = 0;
+  MixedTrafficGenerator gen{
+      sim, standard_app(), Rng{3},
+      [&](MixedTrafficGenerator::Kind k, Bytes) {
+        if (k == MixedTrafficGenerator::Kind::heartbeat) ++heartbeats;
+      }};
+  gen.start();
+  sim.run_until(TimePoint{} + seconds(2700));
+  EXPECT_EQ(heartbeats, 10u);
+  EXPECT_EQ(gen.heartbeats(), 10u);
+}
+
+TEST(TrafficMix, StopHaltsBothStreams) {
+  sim::Simulator sim;
+  MixedTrafficGenerator gen{sim, standard_app(), Rng{5},
+                            [](MixedTrafficGenerator::Kind, Bytes) {}};
+  gen.start();
+  sim.run_until(TimePoint{} + seconds(3000));
+  const auto hb = gen.heartbeats();
+  const auto data = gen.data_messages();
+  gen.stop();
+  sim.run_until(TimePoint{} + seconds(30000));
+  EXPECT_EQ(gen.heartbeats(), hb);
+  EXPECT_EQ(gen.data_messages(), data);
+}
+
+TEST(TrafficMix, ShareIsZeroBeforeTraffic) {
+  sim::Simulator sim;
+  MixedTrafficGenerator gen{sim, standard_app(), Rng{7},
+                            [](MixedTrafficGenerator::Kind, Bytes) {}};
+  EXPECT_DOUBLE_EQ(gen.heartbeat_share(), 0.0);
+}
+
+TEST(TrafficMix, DataSizesAreChatLike) {
+  sim::Simulator sim;
+  bool all_in_range = true;
+  MixedTrafficGenerator gen{
+      sim, whatsapp(), Rng{9},
+      [&](MixedTrafficGenerator::Kind k, Bytes size) {
+        if (k == MixedTrafficGenerator::Kind::data) {
+          if (size.value < 120 || size.value > 900) all_in_range = false;
+        }
+      }};
+  gen.start();
+  sim.run_until(TimePoint{} + seconds(3600 * 24));
+  EXPECT_TRUE(all_in_range);
+  EXPECT_GT(gen.data_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace d2dhb::apps

@@ -1,0 +1,56 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace d2dhb {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{Errc::not_found, "missing"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string("hello")};
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::ok);
+}
+
+TEST(Status, CarriesError) {
+  Status s{Errc::disconnected, "link lost"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::disconnected);
+  EXPECT_EQ(s.error().message, "link lost");
+}
+
+TEST(Status, SuccessFactory) { EXPECT_TRUE(Status::success().ok()); }
+
+TEST(Errc, NamesAreStable) {
+  EXPECT_STREQ(to_string(Errc::ok), "ok");
+  EXPECT_STREQ(to_string(Errc::capacity_exceeded), "capacity_exceeded");
+  EXPECT_STREQ(to_string(Errc::expired), "expired");
+  EXPECT_STREQ(to_string(Errc::timeout), "timeout");
+  EXPECT_STREQ(to_string(Errc::rejected), "rejected");
+}
+
+}  // namespace
+}  // namespace d2dhb

@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace d2dhb {
+namespace {
+
+TEST(Table, PrintsAlignedMarkdown) {
+  Table t{{"App", "Heartbeats"}};
+  t.add_row({"WeChat", "50%"});
+  t.add_row({"WhatsApp", "61.9%"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| App "), std::string::npos);
+  EXPECT_NE(out.find("WeChat"), std::string::npos);
+  EXPECT_NE(out.find("61.9%"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{{"name", "value"}};
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t{{"x"}};
+  t.add_row({"plain"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+TEST(AsciiChart, RendersAllSeries) {
+  AsciiChart chart{"Energy", "transmissions", "uAh"};
+  chart.add(Series{"ue", {0, 1, 2}, {100, 150, 200}});
+  chart.add(Series{"relay", {0, 1, 2}, {600, 1200, 1800}});
+  std::ostringstream os;
+  chart.print(os, 40, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Energy =="), std::string::npos);
+  EXPECT_NE(out.find("* = ue"), std::string::npos);
+  EXPECT_NE(out.find("o = relay"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesSinglePoint) {
+  AsciiChart chart{"Point", "x", "y"};
+  chart.add(Series{"p", {1.0}, {2.0}});
+  std::ostringstream os;
+  chart.print(os, 20, 5);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptySeriesList) {
+  AsciiChart chart{"Empty", "x", "y"};
+  std::ostringstream os;
+  chart.print(os, 20, 5);  // must not crash
+  EXPECT_NE(os.str().find("== Empty =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d2dhb

@@ -1,0 +1,93 @@
+#include "common/tracelog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace d2dhb {
+namespace {
+
+TEST(TraceLog, DisabledByDefaultRecordsNothing) {
+  TraceLog log;
+  log.record(TimePoint{}, TraceCategory::rrc, NodeId{1}, "x");
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceLog, RecordsWhenEnabled) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.record(TimePoint{} + seconds(1), TraceCategory::rrc, NodeId{1},
+             "IDLE -> PROMOTING");
+  log.record(TimePoint{} + seconds(2), TraceCategory::d2d, NodeId{2},
+             "link up");
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0].message, "IDLE -> PROMOTING");
+  EXPECT_EQ(log.count(TraceCategory::rrc), 1u);
+  EXPECT_EQ(log.count(TraceCategory::d2d), 1u);
+  EXPECT_EQ(log.count(TraceCategory::agent), 0u);
+}
+
+TEST(TraceLog, RingBufferDropsOldest) {
+  TraceLog log{3};
+  log.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    log.record(TimePoint{} + seconds(i), TraceCategory::agent, NodeId{1},
+               std::to_string(i));
+  }
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events().front().message, "2");
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.count(TraceCategory::agent), 3u);  // decremented on drop
+}
+
+TEST(TraceLog, ForNodeFilters) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.record(TimePoint{}, TraceCategory::rrc, NodeId{1}, "a");
+  log.record(TimePoint{}, TraceCategory::rrc, NodeId{2}, "b");
+  log.record(TimePoint{}, TraceCategory::d2d, NodeId{1}, "c");
+  const auto mine = log.for_node(NodeId{1});
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].message, "a");
+  EXPECT_EQ(mine[1].message, "c");
+}
+
+TEST(TraceLog, ClearResetsEverything) {
+  TraceLog log{2};
+  log.set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    log.record(TimePoint{}, TraceCategory::rrc, NodeId{1}, "x");
+  }
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.count(TraceCategory::rrc), 0u);
+}
+
+TEST(TraceLog, PrintFormatsAndFilters) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.record(TimePoint{} + seconds(1.5), TraceCategory::rrc, NodeId{7},
+             "IDLE -> PROMOTING");
+  log.record(TimePoint{} + seconds(2), TraceCategory::agent, NodeId{8},
+             "fallback");
+  std::ostringstream all;
+  log.print(all);
+  EXPECT_NE(all.str().find("1.500"), std::string::npos);
+  EXPECT_NE(all.str().find("#7"), std::string::npos);
+  EXPECT_NE(all.str().find("fallback"), std::string::npos);
+  std::ostringstream only_rrc;
+  log.print(only_rrc, TraceCategory::rrc);
+  EXPECT_NE(only_rrc.str().find("PROMOTING"), std::string::npos);
+  EXPECT_EQ(only_rrc.str().find("fallback"), std::string::npos);
+}
+
+TEST(TraceLog, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::rrc), "rrc");
+  EXPECT_STREQ(to_string(TraceCategory::d2d), "d2d");
+  EXPECT_STREQ(to_string(TraceCategory::scheduler), "sched");
+  EXPECT_STREQ(to_string(TraceCategory::agent), "agent");
+}
+
+}  // namespace
+}  // namespace d2dhb

@@ -1,0 +1,76 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb {
+namespace {
+
+TEST(Units, DurationConstructors) {
+  EXPECT_EQ(seconds(1).count(), 1'000'000);
+  EXPECT_EQ(milliseconds(250).count(), 250'000);
+  EXPECT_EQ(microseconds(42).count(), 42);
+  EXPECT_EQ(minutes(2).count(), 120'000'000);
+}
+
+TEST(Units, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(270)), 270.0);
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(100)), 0.1);
+}
+
+TEST(Units, ToSecondsOfTimePoint) {
+  const TimePoint t = TimePoint{} + seconds(3.5);
+  EXPECT_DOUBLE_EQ(to_seconds(t), 3.5);
+}
+
+TEST(Units, MilliAmpsArithmetic) {
+  MilliAmps a{200.0};
+  MilliAmps b{130.5};
+  EXPECT_DOUBLE_EQ((a + b).value, 330.5);
+  EXPECT_DOUBLE_EQ((a - b).value, 69.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.value, 330.5);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.value, 200.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 400.0);
+}
+
+TEST(Units, MicroAmpHoursArithmetic) {
+  MicroAmpHours a{100.0};
+  MicroAmpHours b{25.0};
+  EXPECT_DOUBLE_EQ((a + b).value, 125.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 75.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).value, 50.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value, 25.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, IntegrateConstantCurrent) {
+  // 360 mA for 10 s = 3600 mA·s / 3.6 = 1000 µAh.
+  const MicroAmpHours q = integrate(MilliAmps{360.0}, seconds(10));
+  EXPECT_NEAR(q.value, 1000.0, 1e-9);
+}
+
+TEST(Units, IntegrateZeroDuration) {
+  EXPECT_DOUBLE_EQ(integrate(MilliAmps{500.0}, Duration::zero()).value, 0.0);
+}
+
+TEST(Units, EnergyConversion) {
+  // 1000 µAh at 3.7 V = 3.6 C · 3.7 V = 13.32 J = 13320 mJ.
+  EXPECT_NEAR(to_millijoules(MicroAmpHours{1000.0}), 13320.0, 1e-6);
+}
+
+TEST(Units, BytesOrderingAndSum) {
+  Bytes a{54};
+  Bytes b{74};
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + b).value, 128u);
+  a += b;
+  EXPECT_EQ(a.value, 128u);
+}
+
+TEST(Units, MetersOrdering) {
+  EXPECT_LT(Meters{1.0}, Meters{10.0});
+}
+
+}  // namespace
+}  // namespace d2dhb

@@ -1,0 +1,89 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::core::analysis {
+namespace {
+
+TEST(Analysis, CellularChargeMatchesCalibration) {
+  // DESIGN.md §5: one isolated 54 B WCDMA heartbeat = 598.33 µAh.
+  const MicroAmpHours q =
+      cellular_transmission_charge(radio::wcdma_profile(), Bytes{54});
+  EXPECT_NEAR(q.value, 598.33, 0.1);
+}
+
+TEST(Analysis, LargePayloadStretchesBurstCharge) {
+  const auto profile = radio::wcdma_profile();
+  const double small =
+      cellular_transmission_charge(profile, Bytes{54}).value;
+  const double big =
+      cellular_transmission_charge(profile, Bytes{200'000}).value;
+  // 1 s burst instead of 0.4 s at 650 mA: +0.6 s · 650 mA = +108.3 µAh.
+  EXPECT_NEAR(big - small, 108.3, 0.5);
+}
+
+TEST(Analysis, L3CountsMatchProfile) {
+  const auto profile = radio::wcdma_profile();
+  EXPECT_EQ(cellular_transmission_l3(profile, Bytes{54}), 8u);
+  EXPECT_EQ(cellular_transmission_l3(profile, Bytes{400}), 9u);
+  const auto lte = radio::lte_profile();
+  EXPECT_EQ(cellular_transmission_l3(lte, Bytes{54}), 7u);
+}
+
+TEST(Analysis, SignalingPredictionExact) {
+  PairModel model;
+  model.ues = 1;
+  model.transmissions = 10;
+  const PairPrediction p = predict_pair(model);
+  // Original: 2 phones × 10 × 8; D2D: 10 × 8 (108 B aggregate < 150 B).
+  EXPECT_EQ(p.original_l3, 160u);
+  EXPECT_EQ(p.d2d_l3, 80u);
+  EXPECT_DOUBLE_EQ(p.signaling_saving, 0.5);
+}
+
+TEST(Analysis, TwoUeAggregateCrossesReconfigThreshold) {
+  PairModel model;
+  model.ues = 2;
+  model.transmissions = 4;
+  const PairPrediction p = predict_pair(model);
+  // Aggregate: 3·54 + 3·8 = 186 B > 150 B → 9 L3 per cycle.
+  EXPECT_EQ(p.d2d_l3, 36u);
+  EXPECT_EQ(p.original_l3, 96u);
+}
+
+TEST(Analysis, SavingsGrowWithTransmissions) {
+  PairModel model;
+  double prev = -1.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    model.transmissions = k;
+    const double s = predict_pair(model).system_energy_saving;
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Analysis, BreakEvenNearTheFirstTransmission) {
+  // Fig. 9: "on the period of first message forwarded, the D2D approach
+  // reaches nearly the same energy consumption as the original system."
+  PairModel model;
+  const std::size_t k = break_even_transmissions(model);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, 3u);
+}
+
+TEST(Analysis, FarUePushesBreakEvenOut) {
+  PairModel near;
+  near.distance_m = 1.0;
+  PairModel far = near;
+  far.distance_m = 8.0;  // pricier sends, still below the crossover
+  const std::size_t far_k = break_even_transmissions(far);
+  EXPECT_GT(far_k, 0u);
+  EXPECT_GE(far_k, break_even_transmissions(near));
+  // Beyond the crossover the system never breaks even.
+  PairModel beyond = near;
+  beyond.distance_m = 25.0;
+  EXPECT_EQ(break_even_transmissions(beyond), 0u);
+}
+
+}  // namespace
+}  // namespace d2dhb::core::analysis

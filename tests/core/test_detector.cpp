@@ -1,0 +1,108 @@
+#include "core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::core {
+namespace {
+
+d2d::DiscoveredPeer peer(std::uint64_t id, double distance_m,
+                         bool offers_relay = true,
+                         std::uint32_t capacity = 7) {
+  d2d::DiscoveredPeer p;
+  p.node = NodeId{id};
+  p.estimated_distance = Meters{distance_m};
+  p.advert = d2d::RelayAdvert{offers_relay, capacity};
+  return p;
+}
+
+TEST(Detector, PicksNearestRelay) {
+  D2dDetector det{MatchPolicy{}, Rng{1}};
+  const auto choice = det.match({peer(1, 5.0), peer(2, 2.0), peer(3, 9.0)});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->node, NodeId{2});
+}
+
+TEST(Detector, IgnoresNonRelays) {
+  D2dDetector det{MatchPolicy{}, Rng{1}};
+  const auto choice =
+      det.match({peer(1, 1.0, /*offers_relay=*/false), peer(2, 8.0)});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->node, NodeId{2});
+}
+
+TEST(Detector, RejectsZeroCapacityWhenRequired) {
+  D2dDetector det{MatchPolicy{}, Rng{1}};
+  EXPECT_FALSE(det.match({peer(1, 1.0, true, 0)}).has_value());
+}
+
+TEST(Detector, AcceptsZeroCapacityWhenNotRequired) {
+  MatchPolicy policy;
+  policy.require_capacity = false;
+  D2dDetector det{policy, Rng{1}};
+  EXPECT_TRUE(det.match({peer(1, 1.0, true, 0)}).has_value());
+}
+
+TEST(Detector, EnforcesMaxDistancePrejudgment) {
+  MatchPolicy policy;
+  policy.max_distance = Meters{10.0};
+  D2dDetector det{policy, Rng{1}};
+  EXPECT_FALSE(det.match({peer(1, 15.0)}).has_value());
+  EXPECT_TRUE(det.match({peer(1, 9.0)}).has_value());
+}
+
+TEST(Detector, EmptyDiscoveryMeansCellular) {
+  D2dDetector det{MatchPolicy{}, Rng{1}};
+  EXPECT_FALSE(det.match({}).has_value());
+}
+
+TEST(Detector, FirstStrategyKeepsDiscoveryOrder) {
+  MatchPolicy policy;
+  policy.strategy = MatchStrategy::first;
+  D2dDetector det{policy, Rng{1}};
+  const auto choice = det.match({peer(3, 9.0), peer(1, 1.0)});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->node, NodeId{3});
+}
+
+TEST(Detector, RandomStrategyPicksQualifyingRelays) {
+  MatchPolicy policy;
+  policy.strategy = MatchStrategy::random;
+  D2dDetector det{policy, Rng{42}};
+  std::set<std::uint64_t> chosen;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = det.match({peer(1, 2.0), peer(2, 4.0), peer(3, 6.0)});
+    ASSERT_TRUE(c.has_value());
+    chosen.insert(c->node.value);
+  }
+  EXPECT_EQ(chosen.size(), 3u);  // all three get picked eventually
+}
+
+TEST(BreakEven, MatchesAnalyticCrossover) {
+  const d2d::D2dEnergyProfile profile;
+  // With the calibrated defaults: 73.09·(1 + 0.0577·(d-1)²) = 598.3
+  //  => d ≈ 1 + sqrt((598.3/73.09 - 1)/0.0577) ≈ 12.1 m.
+  const Meters d = break_even_distance(profile, MicroAmpHours{598.3},
+                                       Bytes{54});
+  EXPECT_NEAR(d.value, 12.1, 0.2);
+  // Sanity: sending at the break-even distance costs ~the cellular cost.
+  EXPECT_NEAR(profile.send_charge(Bytes{54}, d).value, 598.3, 1.0);
+}
+
+TEST(BreakEven, ZeroWhenD2dNeverWins) {
+  const d2d::D2dEnergyProfile profile;
+  EXPECT_DOUBLE_EQ(
+      break_even_distance(profile, MicroAmpHours{10.0}, Bytes{54}).value,
+      0.0);
+}
+
+TEST(BreakEven, GrowsWithCellularCost) {
+  const d2d::D2dEnergyProfile profile;
+  const double cheap =
+      break_even_distance(profile, MicroAmpHours{300.0}, Bytes{54}).value;
+  const double costly =
+      break_even_distance(profile, MicroAmpHours{900.0}, Bytes{54}).value;
+  EXPECT_LT(cheap, costly);
+}
+
+}  // namespace
+}  // namespace d2dhb::core

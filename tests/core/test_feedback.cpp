@@ -1,0 +1,115 @@
+#include "core/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace d2dhb::core {
+namespace {
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  FeedbackTracker make(double timeout_s = 60.0) {
+    return FeedbackTracker{
+        sim_, seconds(timeout_s),
+        [this](const net::HeartbeatMessage& m) { fallbacks_.push_back(m); }};
+  }
+
+  net::HeartbeatMessage heartbeat(std::uint64_t id) {
+    net::HeartbeatMessage m;
+    m.id = MessageId{id};
+    m.origin = NodeId{1};
+    m.created_at = sim_.now();
+    m.expiry = seconds(270);
+    return m;
+  }
+
+  sim::Simulator sim_;
+  std::vector<net::HeartbeatMessage> fallbacks_;
+};
+
+TEST_F(FeedbackTest, AckBeforeTimeoutSuppressesFallback) {
+  FeedbackTracker tracker = make();
+  tracker.track(heartbeat(1));
+  sim_.run_until(TimePoint{} + seconds(30));
+  tracker.acknowledge({MessageId{1}});
+  sim_.run_until(TimePoint{} + seconds(300));
+  EXPECT_TRUE(fallbacks_.empty());
+  EXPECT_EQ(tracker.stats().acknowledged, 1u);
+  EXPECT_EQ(tracker.stats().timed_out, 0u);
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+TEST_F(FeedbackTest, TimeoutTriggersFallbackWithOriginalMessage) {
+  FeedbackTracker tracker = make(60.0);
+  tracker.track(heartbeat(7));
+  sim_.run_until(TimePoint{} + seconds(100));
+  ASSERT_EQ(fallbacks_.size(), 1u);
+  EXPECT_EQ(fallbacks_[0].id, MessageId{7});
+  EXPECT_EQ(tracker.stats().timed_out, 1u);
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+TEST_F(FeedbackTest, LateAckIsIgnored) {
+  FeedbackTracker tracker = make(60.0);
+  tracker.track(heartbeat(1));
+  sim_.run_until(TimePoint{} + seconds(100));  // already timed out
+  tracker.acknowledge({MessageId{1}});
+  EXPECT_EQ(tracker.stats().acknowledged, 0u);
+  EXPECT_EQ(fallbacks_.size(), 1u);
+}
+
+TEST_F(FeedbackTest, UnknownAckIdsAreIgnored) {
+  FeedbackTracker tracker = make();
+  tracker.track(heartbeat(1));
+  tracker.acknowledge({MessageId{99}});
+  EXPECT_EQ(tracker.pending(), 1u);
+  EXPECT_EQ(tracker.stats().acknowledged, 0u);
+}
+
+TEST_F(FeedbackTest, BatchAckClearsSeveral) {
+  FeedbackTracker tracker = make();
+  tracker.track(heartbeat(1));
+  tracker.track(heartbeat(2));
+  tracker.track(heartbeat(3));
+  tracker.acknowledge({MessageId{1}, MessageId{3}});
+  EXPECT_EQ(tracker.pending(), 1u);
+  sim_.run_until(TimePoint{} + seconds(100));
+  ASSERT_EQ(fallbacks_.size(), 1u);
+  EXPECT_EQ(fallbacks_[0].id, MessageId{2});
+}
+
+TEST_F(FeedbackTest, FailAllPendingFallsBackImmediately) {
+  FeedbackTracker tracker = make(600.0);
+  tracker.track(heartbeat(1));
+  tracker.track(heartbeat(2));
+  tracker.fail_all_pending();
+  EXPECT_EQ(fallbacks_.size(), 2u);
+  EXPECT_EQ(tracker.stats().failed_immediately, 2u);
+  EXPECT_EQ(tracker.pending(), 0u);
+  // Their timeouts must not fire afterwards.
+  sim_.run_until(TimePoint{} + seconds(1000));
+  EXPECT_EQ(fallbacks_.size(), 2u);
+}
+
+TEST_F(FeedbackTest, DestructionCancelsTimeouts) {
+  {
+    FeedbackTracker tracker = make(10.0);
+    tracker.track(heartbeat(1));
+  }
+  sim_.run_until(TimePoint{} + seconds(100));
+  EXPECT_TRUE(fallbacks_.empty());
+}
+
+TEST_F(FeedbackTest, StatsCountTracked) {
+  FeedbackTracker tracker = make();
+  tracker.track(heartbeat(1));
+  tracker.track(heartbeat(2));
+  EXPECT_EQ(tracker.stats().tracked, 2u);
+  EXPECT_EQ(tracker.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace d2dhb::core

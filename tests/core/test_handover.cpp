@@ -1,0 +1,115 @@
+// Relay re-assessment: a moving UE switches to a closer relay instead of
+// clinging to the one it met first.
+#include <gtest/gtest.h>
+
+#include "core/relay_agent.hpp"
+#include "core/ue_agent.hpp"
+#include "scenario/scenario.hpp"
+
+namespace d2dhb::core {
+namespace {
+
+constexpr double kPeriod = 20.0;
+
+class HandoverTest : public ::testing::Test {
+ protected:
+  apps::AppProfile app() {
+    apps::AppProfile a = apps::standard_app();
+    a.heartbeat_period = seconds(kPeriod);
+    a.expiry = seconds(kPeriod);
+    return a;
+  }
+
+  Phone& static_phone(double x) {
+    PhoneConfig pc;
+    pc.mobility = std::make_unique<mobility::StaticMobility>(
+        mobility::Vec2{x, 0.0});
+    return world_.add_phone(std::move(pc));
+  }
+
+  RelayAgent& add_relay(Phone& phone) {
+    RelayAgent::Params p;
+    p.own_app = app();
+    p.scheduler.max_own_delay = seconds(kPeriod);
+    p.scheduler.deadline_margin = seconds(2);
+    return world_.add_relay(phone, p);
+  }
+
+  UeAgent::Params ue_params(double reassess_s) {
+    UeAgent::Params p;
+    p.app = app();
+    p.feedback_timeout = seconds(1.5 * kPeriod + 10);
+    p.match.max_distance = Meters{25.0};
+    p.reassess_interval = seconds(reassess_s);
+    return p;
+  }
+
+  scenario::Scenario world_;
+};
+
+TEST_F(HandoverTest, MovingUeSwitchesToCloserRelay) {
+  Phone& relay_a = static_phone(0.0);
+  Phone& relay_b = static_phone(20.0);
+  // UE starts next to relay A and strolls toward relay B.
+  PhoneConfig pc;
+  pc.mobility = std::make_unique<mobility::LinearMobility>(
+      mobility::Vec2{1.0, 0.5}, mobility::Vec2{0.05, 0.0});
+  Phone& ue_phone = world_.add_phone(std::move(pc));
+
+  RelayAgent& ra = add_relay(relay_a);
+  RelayAgent& rb = add_relay(relay_b);
+  UeAgent& ue = world_.add_ue(ue_phone, ue_params(60.0));
+  world_.register_session(ue_phone, 3 * seconds(kPeriod));
+  ra.start();
+  rb.start(seconds(3));
+  ue.start();
+
+  // 0.05 m/s: at t=190 the UE is at x=10.5 (midpoint); by ~t=260 relay B
+  // is clearly closer (improvement factor 0.6 satisfied around x>13.2).
+  world_.sim().run_until(TimePoint{} + seconds(360));
+
+  EXPECT_GT(ue.stats().reassessments, 2u);
+  EXPECT_GE(ue.stats().handovers, 1u);
+  EXPECT_EQ(ue.current_relay(), relay_b.id());
+  EXPECT_EQ(ue.link_state(), UeAgent::LinkState::connected);
+  // The planned switch is not an unplanned link loss.
+  EXPECT_EQ(ue.stats().link_losses, 0u);
+  // Both relays did some forwarding.
+  EXPECT_GT(ra.stats().forwarded_received, 0u);
+  EXPECT_GT(rb.stats().forwarded_received, 0u);
+  // And the session never lapsed.
+  const auto& s =
+      world_.server().stats(ue_phone.id(), AppId{ue_phone.id().value});
+  EXPECT_EQ(s.offline_events, 0u);
+}
+
+TEST_F(HandoverTest, StaticUeNeverSwitches) {
+  Phone& relay_a = static_phone(0.0);
+  Phone& relay_b = static_phone(18.0);
+  Phone& ue_phone = static_phone(1.0);
+  RelayAgent& ra = add_relay(relay_a);
+  RelayAgent& rb = add_relay(relay_b);
+  UeAgent& ue = world_.add_ue(ue_phone, ue_params(60.0));
+  ra.start();
+  rb.start(seconds(3));
+  ue.start();
+  world_.sim().run_until(TimePoint{} + seconds(400));
+  EXPECT_GT(ue.stats().reassessments, 3u);
+  EXPECT_EQ(ue.stats().handovers, 0u);
+  EXPECT_EQ(ue.current_relay(), relay_a.id());
+}
+
+TEST_F(HandoverTest, DisabledByDefault) {
+  Phone& relay_a = static_phone(0.0);
+  Phone& ue_phone = static_phone(1.0);
+  RelayAgent& ra = add_relay(relay_a);
+  UeAgent::Params p = ue_params(0.0);  // interval zero = off
+  UeAgent& ue = world_.add_ue(ue_phone, p);
+  ra.start();
+  ue.start();
+  world_.sim().run_until(TimePoint{} + seconds(300));
+  EXPECT_EQ(ue.stats().reassessments, 0u);
+}
+
+}  // namespace
+}  // namespace d2dhb::core

@@ -1,0 +1,65 @@
+#include "core/incentive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::core {
+namespace {
+
+TEST(Incentive, CreditsAccumulate) {
+  IncentiveLedger ledger;
+  ledger.credit(NodeId{1}, 5);
+  ledger.credit(NodeId{1}, 3);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{1}), 8.0);
+  EXPECT_DOUBLE_EQ(ledger.total_issued(), 8.0);
+}
+
+TEST(Incentive, UnknownRelayHasZeroBalance) {
+  IncentiveLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{9}), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.redeem(NodeId{9}, 10.0), 0.0);
+}
+
+TEST(Incentive, KarmaGoStyleRedemption) {
+  // Karma Go: 100 credits worth ~$1 or ~100 MB (Section III-A).
+  IncentiveLedger ledger;
+  ledger.credit(NodeId{1}, 100);
+  EXPECT_DOUBLE_EQ(ledger.redeemable_usd(NodeId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.redeemable_mb(NodeId{1}), 100.0);
+}
+
+TEST(Incentive, RedeemIsBoundedByBalance) {
+  IncentiveLedger ledger;
+  ledger.credit(NodeId{1}, 10);
+  EXPECT_DOUBLE_EQ(ledger.redeem(NodeId{1}, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{1}), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.redeem(NodeId{1}, 100.0), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{1}), 0.0);
+}
+
+TEST(Incentive, CustomTariff) {
+  IncentiveLedger::Tariff tariff;
+  tariff.credits_per_heartbeat = 2.0;
+  tariff.usd_per_credit = 0.05;
+  tariff.free_mb_per_credit = 3.0;
+  IncentiveLedger ledger{tariff};
+  ledger.credit(NodeId{1}, 10);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{1}), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.redeemable_usd(NodeId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.redeemable_mb(NodeId{1}), 60.0);
+}
+
+TEST(Incentive, PerRelayIsolation) {
+  IncentiveLedger ledger;
+  ledger.credit(NodeId{1}, 5);
+  ledger.credit(NodeId{2}, 7);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{1}), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{2}), 7.0);
+  EXPECT_DOUBLE_EQ(ledger.total_issued(), 12.0);
+  ledger.redeem(NodeId{1}, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(NodeId{2}), 7.0);
+  // total_issued is gross issuance, not net of redemption.
+  EXPECT_DOUBLE_EQ(ledger.total_issued(), 12.0);
+}
+
+}  // namespace
+}  // namespace d2dhb::core

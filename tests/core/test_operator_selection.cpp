@@ -1,0 +1,146 @@
+#include "core/operator_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace d2dhb::core {
+namespace {
+
+RelayCandidate candidate(std::uint64_t id, double x, double y,
+                         double battery = 1.0, bool volunteers = true) {
+  return RelayCandidate{NodeId{id}, {x, y}, battery, volunteers};
+}
+
+bool contains(const std::vector<NodeId>& v, std::uint64_t id) {
+  return std::find(v.begin(), v.end(), NodeId{id}) != v.end();
+}
+
+TEST(OperatorSelection, RespectsBudget) {
+  std::vector<RelayCandidate> candidates;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    candidates.push_back(candidate(i, static_cast<double>(i), 0.0));
+  }
+  SelectionConfig config;
+  config.max_relays = 5;
+  Rng rng{1};
+  for (const auto policy :
+       {SelectionPolicy::random, SelectionPolicy::density,
+        SelectionPolicy::coverage_greedy}) {
+    config.policy = policy;
+    const SelectionResult r = select_relays(candidates, config, rng);
+    EXPECT_EQ(r.relays.size(), 5u);
+  }
+}
+
+TEST(OperatorSelection, SkipsNonVolunteersAndLowBattery) {
+  std::vector<RelayCandidate> candidates{
+      candidate(1, 0, 0, 1.0, true),
+      candidate(2, 1, 0, 0.1, true),   // battery below 0.3
+      candidate(3, 2, 0, 1.0, false),  // not volunteering
+      candidate(4, 3, 0, 0.9, true),
+  };
+  SelectionConfig config;
+  Rng rng{2};
+  const SelectionResult r = select_relays(candidates, config, rng);
+  EXPECT_TRUE(contains(r.relays, 1));
+  EXPECT_TRUE(contains(r.relays, 4));
+  EXPECT_FALSE(contains(r.relays, 2));
+  EXPECT_FALSE(contains(r.relays, 3));
+}
+
+TEST(OperatorSelection, GreedyCoversTwoClustersWithTwoRelays) {
+  // Two tight clusters 100 m apart; the greedy policy must put one
+  // relay in each, never two in the same cluster.
+  std::vector<RelayCandidate> candidates;
+  std::uint64_t id = 0;
+  for (double base : {0.0, 100.0}) {
+    for (int i = 0; i < 6; ++i) {
+      candidates.push_back(
+          candidate(++id, base + static_cast<double>(i), 0.0));
+    }
+  }
+  SelectionConfig config;
+  config.policy = SelectionPolicy::coverage_greedy;
+  config.max_relays = 2;
+  config.coverage_radius = Meters{12.0};
+  Rng rng{3};
+  const SelectionResult r = select_relays(candidates, config, rng);
+  ASSERT_EQ(r.relays.size(), 2u);
+  const bool one_left = r.relays[0].value <= 6;
+  const bool other_right = r.relays[1].value > 6;
+  EXPECT_NE(one_left, r.relays[1].value <= 6);
+  (void)other_right;
+  EXPECT_DOUBLE_EQ(r.covered_fraction, 1.0);
+}
+
+TEST(OperatorSelection, GreedyBeatsRandomOnSparseLayouts) {
+  // Scattered candidates: greedy coverage must never lose to random.
+  std::vector<RelayCandidate> candidates;
+  Rng layout{17};
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    candidates.push_back(
+        candidate(i, layout.uniform(0, 200), layout.uniform(0, 200)));
+  }
+  SelectionConfig config;
+  config.max_relays = 6;
+  Rng rng{5};
+  config.policy = SelectionPolicy::coverage_greedy;
+  const double greedy =
+      select_relays(candidates, config, rng).covered_fraction;
+  config.policy = SelectionPolicy::random;
+  double random_sum = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    random_sum += select_relays(candidates, config, rng).covered_fraction;
+  }
+  EXPECT_GE(greedy, random_sum / 10.0);
+}
+
+TEST(OperatorSelection, DensityPrefersCrowdCenters) {
+  std::vector<RelayCandidate> candidates;
+  // Dense knot around (0,0) plus one loner far away.
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    candidates.push_back(candidate(
+        i, static_cast<double>(i % 3), static_cast<double>(i / 3)));
+  }
+  candidates.push_back(candidate(10, 500, 500));
+  SelectionConfig config;
+  config.policy = SelectionPolicy::density;
+  config.max_relays = 1;
+  Rng rng{7};
+  const SelectionResult r = select_relays(candidates, config, rng);
+  ASSERT_EQ(r.relays.size(), 1u);
+  EXPECT_NE(r.relays[0], NodeId{10});
+}
+
+TEST(OperatorSelection, UnlimitedBudgetTakesAllEligible) {
+  std::vector<RelayCandidate> candidates{
+      candidate(1, 0, 0), candidate(2, 1, 0), candidate(3, 2, 0, 0.05)};
+  SelectionConfig config;  // max_relays = 0
+  Rng rng{9};
+  const SelectionResult r = select_relays(candidates, config, rng);
+  EXPECT_EQ(r.relays.size(), 2u);
+}
+
+TEST(OperatorSelection, CoverageOfExplicitSet) {
+  std::vector<RelayCandidate> candidates{
+      candidate(1, 0, 0), candidate(2, 5, 0), candidate(3, 100, 0)};
+  EXPECT_DOUBLE_EQ(coverage_of(candidates, {NodeId{1}}, Meters{12.0}),
+                   0.5);  // node 2 covered, node 3 not
+  EXPECT_DOUBLE_EQ(coverage_of(candidates, {}, Meters{12.0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      coverage_of(candidates, {NodeId{1}, NodeId{2}, NodeId{3}},
+                  Meters{12.0}),
+      1.0);  // nobody left to cover
+}
+
+TEST(OperatorSelection, EmptyCandidatesIsSafe) {
+  SelectionConfig config;
+  Rng rng{11};
+  const SelectionResult r = select_relays({}, config, rng);
+  EXPECT_TRUE(r.relays.empty());
+  EXPECT_DOUBLE_EQ(r.covered_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace d2dhb::core

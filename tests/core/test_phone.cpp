@@ -1,0 +1,84 @@
+#include "core/phone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace d2dhb::core {
+namespace {
+
+class PhoneTest : public ::testing::Test {
+ protected:
+  PhoneTest() : medium_(sim_, d2d::WifiDirectMedium::Params{}, Rng{1}) {}
+
+  PhoneConfig config(mobility::Vec2 pos = {0.0, 0.0}) {
+    PhoneConfig pc;
+    pc.mobility = std::make_unique<mobility::StaticMobility>(pos);
+    return pc;
+  }
+
+  sim::Simulator sim_;
+  d2d::WifiDirectMedium medium_;
+  radio::SignalingCounter signaling_;
+};
+
+TEST_F(PhoneTest, AssemblesAllComponents) {
+  Phone phone{sim_, NodeId{1}, config(), medium_, signaling_, Rng{2}};
+  EXPECT_EQ(phone.id(), NodeId{1});
+  EXPECT_EQ(phone.modem().owner(), NodeId{1});
+  EXPECT_EQ(phone.wifi().owner(), NodeId{1});
+  // Components: baseline + cellular + wifi.
+  EXPECT_EQ(phone.meter().component_count(), 3u);
+}
+
+TEST_F(PhoneTest, RequiresMobility) {
+  PhoneConfig pc;  // mobility left null
+  EXPECT_THROW(
+      (Phone{sim_, NodeId{1}, std::move(pc), medium_, signaling_, Rng{2}}),
+      std::invalid_argument);
+}
+
+TEST_F(PhoneTest, BaselineDrawsButRadioChargeExcludesIt) {
+  Phone phone{sim_, NodeId{1}, config(), medium_, signaling_, Rng{2}};
+  sim_.run_until(TimePoint{} + seconds(36));
+  // Baseline 40 mA for 36 s = 400 µAh total, but radios drew nothing.
+  EXPECT_NEAR(phone.total_charge().value, 400.0, 1e-6);
+  EXPECT_DOUBLE_EQ(phone.radio_charge().value, 0.0);
+  EXPECT_DOUBLE_EQ(phone.cellular_charge().value, 0.0);
+  EXPECT_DOUBLE_EQ(phone.wifi_charge().value, 0.0);
+}
+
+TEST_F(PhoneTest, RegisteredOnMedium) {
+  Phone phone{sim_, NodeId{1}, config({3.0, 4.0}), medium_, signaling_,
+              Rng{2}};
+  const auto pos = medium_.position_of(NodeId{1});
+  EXPECT_DOUBLE_EQ(pos.x, 3.0);
+  EXPECT_DOUBLE_EQ(pos.y, 4.0);
+}
+
+TEST_F(PhoneTest, CellularTransmitChargesCellularComponent) {
+  Phone phone{sim_, NodeId{1}, config(), medium_, signaling_, Rng{2}};
+  net::UplinkBundle bundle;
+  bundle.sender = phone.id();
+  net::HeartbeatMessage m;
+  m.id = MessageId{1};
+  m.origin = phone.id();
+  m.size = Bytes{54};
+  bundle.messages = {m};
+  phone.modem().transmit(std::move(bundle));
+  sim_.run_until(TimePoint{} + seconds(20));
+  EXPECT_NEAR(phone.cellular_charge().value, 598.3, 1.0);
+  EXPECT_DOUBLE_EQ(phone.wifi_charge().value, 0.0);
+  EXPECT_NEAR(phone.radio_charge().value, phone.cellular_charge().value,
+              1e-9);
+}
+
+TEST_F(PhoneTest, CustomRrcProfileIsUsed) {
+  PhoneConfig pc = config();
+  pc.rrc = radio::lte_profile();
+  Phone phone{sim_, NodeId{1}, std::move(pc), medium_, signaling_, Rng{2}};
+  EXPECT_EQ(phone.modem().profile().name, "LTE");
+}
+
+}  // namespace
+}  // namespace d2dhb::core

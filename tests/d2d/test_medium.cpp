@@ -1,0 +1,102 @@
+#include "d2d/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "d2d/wifi_direct.hpp"
+#include "energy/energy_meter.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::d2d {
+namespace {
+
+// Minimal device bundle for medium/radio tests.
+struct TestPhone {
+  TestPhone(sim::Simulator& sim, WifiDirectMedium& medium, std::uint64_t id,
+            mobility::Vec2 pos)
+      : meter(sim),
+        mobility(pos),
+        radio(sim, NodeId{id}, medium, mobility, meter, D2dEnergyProfile{},
+              Rng{id}) {}
+
+  energy::EnergyMeter meter;
+  mobility::StaticMobility mobility;
+  WifiDirectRadio radio;
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_(sim_, WifiDirectMedium::Params{}, Rng{99}) {}
+
+  sim::Simulator sim_;
+  WifiDirectMedium medium_;
+};
+
+TEST_F(MediumTest, DistanceBetweenRegisteredRadios) {
+  TestPhone a{sim_, medium_, 1, {0.0, 0.0}};
+  TestPhone b{sim_, medium_, 2, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(medium_.distance(NodeId{1}, NodeId{2}).value, 5.0);
+  EXPECT_TRUE(medium_.in_range(NodeId{1}, NodeId{2}));
+}
+
+TEST_F(MediumTest, OutOfRangeBeyond30m) {
+  TestPhone a{sim_, medium_, 1, {0.0, 0.0}};
+  TestPhone b{sim_, medium_, 2, {31.0, 0.0}};
+  EXPECT_FALSE(medium_.in_range(NodeId{1}, NodeId{2}));
+}
+
+TEST_F(MediumTest, UnknownNodeThrows) {
+  TestPhone a{sim_, medium_, 1, {0.0, 0.0}};
+  EXPECT_THROW(medium_.distance(NodeId{1}, NodeId{9}), std::out_of_range);
+  EXPECT_THROW(medium_.position_of(NodeId{9}), std::out_of_range);
+}
+
+TEST_F(MediumTest, ScanFindsOnlyListeningPeersInRange) {
+  TestPhone scanner{sim_, medium_, 1, {0.0, 0.0}};
+  TestPhone listening_near{sim_, medium_, 2, {5.0, 0.0}};
+  TestPhone silent_near{sim_, medium_, 3, {5.0, 5.0}};
+  TestPhone listening_far{sim_, medium_, 4, {100.0, 0.0}};
+  listening_near.radio.set_listening(true);
+  listening_far.radio.set_listening(true);
+
+  const auto peers = medium_.scan_from(NodeId{1});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].node, NodeId{2});
+}
+
+TEST_F(MediumTest, ScanCarriesAdvertAndNoisyDistance) {
+  TestPhone scanner{sim_, medium_, 1, {0.0, 0.0}};
+  TestPhone relay{sim_, medium_, 2, {10.0, 0.0}};
+  relay.radio.set_listening(true);
+  relay.radio.set_advert(RelayAdvert{true, 5});
+
+  const auto peers = medium_.scan_from(NodeId{1});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_TRUE(peers[0].advert.offers_relay);
+  EXPECT_EQ(peers[0].advert.capacity_remaining, 5u);
+  // RSSI noise is sub-meter by default.
+  EXPECT_NEAR(peers[0].estimated_distance.value, 10.0, 2.0);
+}
+
+TEST_F(MediumTest, DetachedRadioDisappears) {
+  auto phone = std::make_unique<TestPhone>(sim_, medium_, 2,
+                                           mobility::Vec2{1.0, 0.0});
+  phone->radio.set_listening(true);
+  TestPhone scanner{sim_, medium_, 1, {0.0, 0.0}};
+  EXPECT_EQ(medium_.scan_from(NodeId{1}).size(), 1u);
+  phone.reset();  // destructor detaches
+  EXPECT_EQ(medium_.scan_from(NodeId{1}).size(), 0u);
+  EXPECT_EQ(medium_.radio(NodeId{2}), nullptr);
+}
+
+TEST_F(MediumTest, DiscoveryMissProbabilityDropsPeers) {
+  WifiDirectMedium flaky{sim_,
+                         WifiDirectMedium::Params{Meters{30.0}, 0.0, 1.0},
+                         Rng{5}};
+  TestPhone scanner{sim_, flaky, 1, {0.0, 0.0}};
+  TestPhone relay{sim_, flaky, 2, {1.0, 0.0}};
+  relay.radio.set_listening(true);
+  EXPECT_TRUE(flaky.scan_from(NodeId{1}).empty());
+}
+
+}  // namespace
+}  // namespace d2dhb::d2d

@@ -1,0 +1,77 @@
+#include "d2d/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::d2d {
+namespace {
+
+TEST(Technology, WifiDirectIsThePaperCalibration) {
+  const D2dTechnology tech = wifi_direct_tech();
+  EXPECT_EQ(tech.name, "Wi-Fi Direct");
+  EXPECT_DOUBLE_EQ(tech.medium.range.value, 30.0);
+  EXPECT_DOUBLE_EQ(tech.energy.ue_discovery.value, 132.24);
+  EXPECT_TRUE(tech.widely_deployed);
+}
+
+TEST(Technology, BluetoothRangeUnder10m) {
+  // "its communication range is typically less than 10 m" (Section IV-A).
+  const D2dTechnology tech = bluetooth_tech();
+  EXPECT_LT(tech.medium.range.value, 10.0);
+  EXPECT_TRUE(tech.widely_deployed);
+}
+
+TEST(Technology, BluetoothIsCheaperPerPhaseAtCloseRange) {
+  const D2dTechnology bt = bluetooth_tech();
+  const D2dTechnology wifi = wifi_direct_tech();
+  EXPECT_LT(bt.energy.ue_discovery.value, wifi.energy.ue_discovery.value);
+  EXPECT_LT(bt.energy.ue_connection.value, wifi.energy.ue_connection.value);
+  EXPECT_LT(bt.energy.send_charge(Bytes{54}, Meters{1.0}).value,
+            wifi.energy.send_charge(Bytes{54}, Meters{1.0}).value);
+}
+
+TEST(Technology, BluetoothDistancePenaltyIsSteeper) {
+  const D2dTechnology bt = bluetooth_tech();
+  const D2dTechnology wifi = wifi_direct_tech();
+  const double bt_growth =
+      bt.energy.send_charge(Bytes{54}, Meters{8.0}).value /
+      bt.energy.send_charge(Bytes{54}, Meters{1.0}).value;
+  const double wifi_growth =
+      wifi.energy.send_charge(Bytes{54}, Meters{8.0}).value /
+      wifi.energy.send_charge(Bytes{54}, Meters{1.0}).value;
+  EXPECT_GT(bt_growth, wifi_growth);
+}
+
+TEST(Technology, LteDirectReaches500m) {
+  // "the discovery of thousands of devices in proximity of approximately
+  // 500 meters" — but "many countries ... have not deployed".
+  const D2dTechnology tech = lte_direct_tech();
+  EXPECT_DOUBLE_EQ(tech.medium.range.value, 500.0);
+  EXPECT_FALSE(tech.widely_deployed);
+}
+
+TEST(Technology, LteDirectDiscoveryIsCheapest) {
+  const auto all = all_technologies();
+  const D2dTechnology lte = lte_direct_tech();
+  for (const auto& tech : all) {
+    EXPECT_LE(lte.energy.ue_discovery.value, tech.energy.ue_discovery.value)
+        << tech.name;
+  }
+}
+
+TEST(Technology, LteDirectNearlyDistanceFlat) {
+  const D2dTechnology lte = lte_direct_tech();
+  const double near = lte.energy.send_charge(Bytes{54}, Meters{1.0}).value;
+  const double far = lte.energy.send_charge(Bytes{54}, Meters{100.0}).value;
+  EXPECT_LT(far / near, 20.0);  // vs Wi-Fi blowing up within 30 m
+}
+
+TEST(Technology, CatalogHasPaperOrder) {
+  const auto all = all_technologies();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "Bluetooth");
+  EXPECT_EQ(all[1].name, "Wi-Fi Direct");
+  EXPECT_EQ(all[2].name, "LTE Direct");
+}
+
+}  // namespace
+}  // namespace d2dhb::d2d

@@ -1,0 +1,51 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace d2dhb::energy {
+namespace {
+
+TEST(Battery, FullWhenUnused) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  Battery battery{meter, MicroAmpHours{1000.0}};
+  EXPECT_DOUBLE_EQ(battery.level(), 1.0);
+  EXPECT_FALSE(battery.depleted());
+}
+
+TEST(Battery, DrainsWithMeter) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  meter.register_component("radio", MilliAmps{36.0});
+  Battery battery{meter, MicroAmpHours{1000.0}};
+  sim.run_until(TimePoint{} + seconds(50));  // 36·50/3.6 = 500 µAh
+  EXPECT_NEAR(battery.poll().value, 500.0, 1e-9);
+  EXPECT_NEAR(battery.level(), 0.5, 1e-9);
+  EXPECT_FALSE(battery.depleted());
+}
+
+TEST(Battery, FiresDepletionCallbackOnce) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  meter.register_component("radio", MilliAmps{360.0});
+  int fired = 0;
+  Battery battery{meter, MicroAmpHours{100.0}, [&] { ++fired; }};
+  sim.run_until(TimePoint{} + seconds(10));  // 1000 µAh used >> capacity
+  battery.poll();
+  battery.poll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.poll().value, 0.0);
+}
+
+TEST(Battery, ZeroCapacityIsAlwaysEmpty) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  Battery battery{meter, MicroAmpHours{0.0}};
+  EXPECT_DOUBLE_EQ(battery.level(), 0.0);
+}
+
+}  // namespace
+}  // namespace d2dhb::energy

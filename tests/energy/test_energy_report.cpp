@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "energy/energy_meter.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::energy {
+namespace {
+
+TEST(EnergyReport, BreaksDownByComponent) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  meter.register_component("baseline", MilliAmps{40.0});
+  meter.register_component("cellular", MilliAmps{320.0});
+  sim.run_until(TimePoint{} + seconds(36));
+  std::ostringstream os;
+  meter.print_report(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("cellular"), std::string::npos);
+  // 40·36/3.6 = 400 µAh and 320·36/3.6 = 3200 µAh of 3600 total.
+  EXPECT_NE(out.find("400.0"), std::string::npos);
+  EXPECT_NE(out.find("3200.0"), std::string::npos);
+  EXPECT_NE(out.find("3600.0"), std::string::npos);
+  EXPECT_NE(out.find("88.9%"), std::string::npos);  // cellular share
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+TEST(EnergyReport, EmptyMeterPrintsHeaderAndZeroTotal) {
+  sim::Simulator sim;
+  EnergyMeter meter{sim};
+  std::ostringstream os;
+  meter.print_report(os);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d2dhb::energy

@@ -1,0 +1,72 @@
+// Cross-validation: the closed-form model and the discrete-event
+// simulation must agree on every cell of the experiment grid. A
+// regression in either one shows up as a divergence here.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.hpp"
+#include "scenario/compressed_pair.hpp"
+
+namespace d2dhb::scenario {
+namespace {
+
+using Grid = std::tuple<std::size_t, std::size_t, double>;
+
+class ModelVsSimTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ModelVsSimTest, EnergyAndSignalingAgree) {
+  const auto [ues, transmissions, distance] = GetParam();
+
+  CompressedPairConfig config;
+  config.num_ues = ues;
+  config.transmissions = transmissions;
+  config.ue_distance_m = distance;
+  config.capacity = 8;  // keep every aggregate whole
+  const PairMetrics sim_d2d = run_d2d_pair(config);
+  const PairMetrics sim_orig = run_original_pair(config);
+
+  core::analysis::PairModel model;
+  model.ues = ues;
+  model.transmissions = transmissions;
+  model.distance_m = distance;
+  model.period = seconds(config.period_s);
+  const core::analysis::PairPrediction predicted =
+      core::analysis::predict_pair(model);
+
+  // Signaling is integer-exact.
+  EXPECT_EQ(sim_orig.system_l3, predicted.original_l3);
+  EXPECT_EQ(sim_d2d.system_l3, predicted.d2d_l3);
+
+  // Energy within 6 % (the model idealizes idle spans and the exact
+  // settle horizon).
+  const auto near = [](double a, double b, double tol) {
+    return std::abs(a - b) <= tol * std::max(a, b);
+  };
+  EXPECT_TRUE(near(sim_orig.system_uah, predicted.original_system_uah, 0.02))
+      << sim_orig.system_uah << " vs " << predicted.original_system_uah;
+  EXPECT_TRUE(near(sim_d2d.ue_uah_total, predicted.d2d_ue_uah, 0.06))
+      << sim_d2d.ue_uah_total << " vs " << predicted.d2d_ue_uah;
+  EXPECT_TRUE(near(sim_d2d.relay_uah, predicted.d2d_relay_uah, 0.06))
+      << sim_d2d.relay_uah << " vs " << predicted.d2d_relay_uah;
+
+  // Derived savings within a few points.
+  const Savings s = compare(sim_orig, sim_d2d);
+  EXPECT_NEAR(s.system_energy_fraction, predicted.system_energy_saving,
+              0.05);
+  EXPECT_NEAR(s.signaling_fraction, predicted.signaling_saving, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSimTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 5),
+                       ::testing::Values<std::size_t>(2, 5, 8),
+                       ::testing::Values(1.0, 5.0, 10.0)),
+    [](const ::testing::TestParamInfo<Grid>& info) {
+      return "ues" + std::to_string(std::get<0>(info.param)) + "_tx" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+}  // namespace
+}  // namespace d2dhb::scenario

@@ -1,0 +1,63 @@
+// The related-work comparison end to end: each strategy's signature
+// trade-off must reproduce.
+#include <gtest/gtest.h>
+
+#include "scenario/baselines.hpp"
+
+namespace d2dhb::scenario {
+namespace {
+
+BaselineConfig small() {
+  BaselineConfig config;
+  config.phones = 8;
+  config.duration_s = 2700.0;
+  return config;
+}
+
+TEST(BaselineStrategies, PeriodExtensionTradesDetectionForTraffic) {
+  const auto original = run_baseline_original(small());
+  const auto extended = run_baseline_period_extension(small(), 2.0);
+  // Roughly half the signaling and energy...
+  EXPECT_LT(extended.total_l3, 0.65 * static_cast<double>(original.total_l3));
+  EXPECT_LT(extended.total_radio_uah, 0.65 * original.total_radio_uah);
+  // ...at double the offline-detection latency.
+  EXPECT_DOUBLE_EQ(extended.offline_detection_s,
+                   2.0 * original.offline_detection_s);
+}
+
+TEST(BaselineStrategies, PiggybackReducesTrafficButAddsDelay) {
+  const auto original = run_baseline_original(small());
+  const auto piggy = run_baseline_piggyback(small());
+  EXPECT_LT(piggy.total_l3, original.total_l3);
+  EXPECT_LT(piggy.total_radio_uah, original.total_radio_uah);
+  EXPECT_GT(piggy.mean_latency_s, 10.0 * original.mean_latency_s);
+  EXPECT_EQ(piggy.offline_events, 0u);
+}
+
+TEST(BaselineStrategies, FastDormancySavesEnergyAggravatesSignaling) {
+  // The paper's [26]: "employs fast dormancy to save energy with higher
+  // signaling overhead, which aggravates signaling storm".
+  const auto original = run_baseline_original(small());
+  const auto fd = run_baseline_fast_dormancy(small());
+  EXPECT_LT(fd.total_radio_uah, 0.6 * original.total_radio_uah);
+  EXPECT_GE(fd.total_l3, original.total_l3);
+}
+
+TEST(BaselineStrategies, D2dImprovesBothAxesWithoutDetectionCost) {
+  const auto original = run_baseline_original(small());
+  const auto d2d = run_d2d_framework_arm(small());
+  EXPECT_LT(d2d.total_l3, original.total_l3);
+  EXPECT_LT(d2d.total_radio_uah, original.total_radio_uah);
+  EXPECT_DOUBLE_EQ(d2d.offline_detection_s, original.offline_detection_s);
+  EXPECT_EQ(d2d.offline_events, 0u);
+}
+
+TEST(BaselineStrategies, AllStrategiesKeepClientsOnline) {
+  for (const auto& s : run_all_strategies(small())) {
+    EXPECT_EQ(s.offline_events, 0u) << s.name;
+    EXPECT_GT(s.heartbeats_delivered, 0u) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace d2dhb::scenario

@@ -1,0 +1,126 @@
+// End-to-end checks of the compressed pair methodology (Section V setup).
+#include <gtest/gtest.h>
+
+#include "scenario/compressed_pair.hpp"
+
+namespace d2dhb::scenario {
+namespace {
+
+TEST(PairSystem, AllHeartbeatsReachTheServer) {
+  CompressedPairConfig config;
+  config.transmissions = 5;
+  const PairMetrics d2d = run_d2d_pair(config);
+  // Relay's 5 own + UE's 5 forwarded.
+  EXPECT_EQ(d2d.server.delivered, 10u);
+  EXPECT_EQ(d2d.server.late, 0u);
+  EXPECT_EQ(d2d.server.offline_events, 0u);
+}
+
+TEST(PairSystem, RelayAggregatesOwnPlusForwarded) {
+  CompressedPairConfig config;
+  config.transmissions = 6;
+  const PairMetrics d2d = run_d2d_pair(config);
+  EXPECT_EQ(d2d.bundles, 6u);
+  EXPECT_NEAR(d2d.mean_bundle_size, 2.0, 0.01);
+  EXPECT_EQ(d2d.forwarded, 6u);
+  EXPECT_EQ(d2d.fallbacks, 0u);
+}
+
+TEST(PairSystem, UeGeneratesZeroSignaling) {
+  CompressedPairConfig config;
+  config.transmissions = 4;
+  const PairMetrics d2d = run_d2d_pair(config);
+  EXPECT_EQ(d2d.ue_l3, 0u);
+  EXPECT_GT(d2d.relay_l3, 0u);
+  EXPECT_EQ(d2d.system_l3, d2d.relay_l3);
+}
+
+TEST(PairSystem, OriginalSystemPaysFullCyclePerHeartbeat) {
+  CompressedPairConfig config;
+  config.transmissions = 4;
+  const PairMetrics orig = run_original_pair(config);
+  // 2 phones × 4 heartbeats × 8 L3 messages.
+  EXPECT_EQ(orig.system_l3, 64u);
+  EXPECT_EQ(orig.bundles, 8u);
+  EXPECT_EQ(orig.server.delivered, 8u);
+  EXPECT_EQ(orig.server.offline_events, 0u);
+}
+
+TEST(PairSystem, RelaySignalingMatchesOriginalSingleNode) {
+  // Section V-B: "the cellular signaling traffic of the relay is nearly
+  // the same as the original system".
+  CompressedPairConfig config;
+  config.transmissions = 8;
+  const PairMetrics d2d = run_d2d_pair(config);
+  const PairMetrics orig = run_original_pair(config);
+  EXPECT_EQ(d2d.relay_l3, orig.relay_l3);
+}
+
+TEST(PairSystem, MultiUeStarDeliversEverything) {
+  CompressedPairConfig config;
+  config.num_ues = 5;
+  config.transmissions = 4;
+  const PairMetrics d2d = run_d2d_pair(config);
+  // (1 relay + 5 UEs) × 4 heartbeats.
+  EXPECT_EQ(d2d.server.delivered, 24u);
+  EXPECT_EQ(d2d.server.offline_events, 0u);
+  EXPECT_EQ(d2d.forwarded, 20u);
+  EXPECT_NEAR(d2d.mean_bundle_size, 6.0, 0.01);
+}
+
+TEST(PairSystem, CapacityBoundForcesEarlyFlushes) {
+  CompressedPairConfig config;
+  config.num_ues = 5;
+  config.capacity = 3;  // M < number of UEs
+  config.transmissions = 4;
+  const PairMetrics d2d = run_d2d_pair(config);
+  // Some heartbeats trigger capacity flushes => more, smaller bundles.
+  EXPECT_GT(d2d.bundles, 4u);
+  EXPECT_LT(d2d.mean_bundle_size, 6.0);
+  // Nothing is lost even so.
+  EXPECT_EQ(d2d.server.delivered, 24u);
+}
+
+TEST(PairSystem, RelayCreditsEqualForwardedHeartbeats) {
+  CompressedPairConfig config;
+  config.num_ues = 2;
+  config.transmissions = 5;
+  const PairMetrics d2d = run_d2d_pair(config);
+  EXPECT_DOUBLE_EQ(d2d.relay_credits, 10.0);
+}
+
+TEST(PairSystem, LteProfileAlsoWorks) {
+  CompressedPairConfig config;
+  config.use_lte = true;
+  config.transmissions = 4;
+  const PairMetrics d2d = run_d2d_pair(config);
+  const PairMetrics orig = run_original_pair(config);
+  EXPECT_EQ(d2d.server.delivered, 8u);
+  // LTE full cycle is 7 L3 messages; halving still holds.
+  const auto s = compare(orig, d2d);
+  EXPECT_NEAR(s.signaling_fraction, 0.5, 0.05);
+}
+
+TEST(PairSystem, DeterministicForFixedSeed) {
+  CompressedPairConfig config;
+  config.transmissions = 3;
+  const PairMetrics a = run_d2d_pair(config);
+  const PairMetrics b = run_d2d_pair(config);
+  EXPECT_DOUBLE_EQ(a.system_uah, b.system_uah);
+  EXPECT_EQ(a.system_l3, b.system_l3);
+  EXPECT_EQ(a.bundles, b.bundles);
+}
+
+TEST(PairSystem, SeedChangesDontBreakInvariants) {
+  for (std::uint64_t seed : {2ull, 3ull, 5ull, 8ull}) {
+    CompressedPairConfig config;
+    config.seed = seed;
+    config.transmissions = 3;
+    const PairMetrics d2d = run_d2d_pair(config);
+    EXPECT_EQ(d2d.server.delivered, 6u) << "seed " << seed;
+    EXPECT_EQ(d2d.server.offline_events, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace d2dhb::scenario

@@ -1,0 +1,91 @@
+// The Scenario assembly class itself: id assignment, session
+// registration, rng forking determinism, aggregate accessors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scenario/scenario.hpp"
+
+namespace d2dhb::scenario {
+namespace {
+
+core::PhoneConfig at(double x, double y = 0.0) {
+  core::PhoneConfig pc;
+  pc.mobility =
+      std::make_unique<mobility::StaticMobility>(mobility::Vec2{x, y});
+  return pc;
+}
+
+TEST(ScenarioHarness, AssignsSequentialNodeIds) {
+  Scenario world;
+  EXPECT_EQ(world.add_phone(at(0)).id(), NodeId{1});
+  EXPECT_EQ(world.add_phone(at(1)).id(), NodeId{2});
+  EXPECT_EQ(world.add_phone(at(2)).id(), NodeId{3});
+  EXPECT_EQ(world.phones().size(), 3u);
+}
+
+TEST(ScenarioHarness, RejectsPhoneWithoutMobility) {
+  Scenario world;
+  core::PhoneConfig pc;  // mobility null
+  EXPECT_THROW(world.add_phone(std::move(pc)), std::invalid_argument);
+}
+
+TEST(ScenarioHarness, DefaultIsSingleCellAtOrigin) {
+  Scenario world;
+  EXPECT_EQ(world.cell_count(), 1u);
+  core::Phone& phone = world.add_phone(at(500.0));
+  EXPECT_EQ(world.cell_of(phone.id()), 0u);
+  EXPECT_EQ(&world.serving_bs(phone), &world.bs(0));
+}
+
+TEST(ScenarioHarness, RegisterSessionOverloads) {
+  Scenario world;
+  core::Phone& phone = world.add_phone(at(0));
+  world.register_session(phone, seconds(100));
+  world.register_session(phone, AppId{4242}, seconds(200));
+  EXPECT_TRUE(world.server().online(phone.id(), AppId{phone.id().value}));
+  EXPECT_TRUE(world.server().online(phone.id(), AppId{4242}));
+  world.sim().run_until(TimePoint{} + seconds(150));
+  EXPECT_FALSE(world.server().online(phone.id(), AppId{phone.id().value}));
+  EXPECT_TRUE(world.server().online(phone.id(), AppId{4242}));
+}
+
+TEST(ScenarioHarness, ForkRngIsDeterministicPerSeed) {
+  Scenario a{Scenario::Params{99, {}, {}, {}}};
+  Scenario b{Scenario::Params{99, {}, {}, {}}};
+  Rng ra = a.fork_rng();
+  Rng rb = b.fork_rng();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
+}
+
+TEST(ScenarioHarness, MessageIdsSharedAcrossAgents) {
+  Scenario world;
+  const MessageId first = world.message_ids().next();
+  const MessageId second = world.message_ids().next();
+  EXPECT_EQ(second.value, first.value + 1);
+}
+
+TEST(ScenarioHarness, TotalL3SumsAllCells) {
+  Scenario::Params params;
+  params.cell_sites = {{0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}};
+  Scenario world{params};
+  world.bs(0).signaling().record(world.sim().now(), NodeId{1},
+                                 radio::L3MessageType::measurement_report);
+  world.bs(2).signaling().record(world.sim().now(), NodeId{2},
+                                 radio::L3MessageType::measurement_report);
+  world.bs(2).signaling().record(world.sim().now(), NodeId{2},
+                                 radio::L3MessageType::measurement_report);
+  EXPECT_EQ(world.total_l3(), 3u);
+  EXPECT_EQ(world.cell_site(1).x, 50.0);
+}
+
+TEST(ScenarioHarness, RunForAdvancesSimTime) {
+  Scenario world;
+  world.run_for(seconds(42));
+  EXPECT_EQ(world.sim().now(), TimePoint{} + seconds(42));
+  world.run_for(seconds(8));
+  EXPECT_EQ(world.sim().now(), TimePoint{} + seconds(50));
+}
+
+}  // namespace
+}  // namespace d2dhb::scenario

@@ -1,0 +1,102 @@
+// The substrates emit coherent traces end to end: an enabled global
+// trace shows the full story of a pair run — RRC walks, link formation,
+// scheduler flushes, and agent decisions — in causal order.
+#include <gtest/gtest.h>
+
+#include "common/tracelog.hpp"
+#include "scenario/compressed_pair.hpp"
+
+namespace d2dhb::scenario {
+namespace {
+
+class TraceIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    global_trace().clear();
+    global_trace().set_enabled(true);
+  }
+  void TearDown() override {
+    global_trace().set_enabled(false);
+    global_trace().clear();
+  }
+};
+
+TEST_F(TraceIntegrationTest, PairRunEmitsAllCategories) {
+  CompressedPairConfig config;
+  config.transmissions = 3;
+  run_d2d_pair(config);
+  const TraceLog& log = global_trace();
+  EXPECT_GT(log.count(TraceCategory::rrc), 0u);
+  EXPECT_GT(log.count(TraceCategory::d2d), 0u);
+  EXPECT_GT(log.count(TraceCategory::scheduler), 0u);
+  EXPECT_GT(log.count(TraceCategory::agent), 0u);
+}
+
+TEST_F(TraceIntegrationTest, EventsAreTimeOrdered) {
+  CompressedPairConfig config;
+  config.transmissions = 4;
+  run_d2d_pair(config);
+  const auto& events = global_trace().events();
+  ASSERT_GT(events.size(), 10u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].when, events[i].when);
+  }
+}
+
+TEST_F(TraceIntegrationTest, LinkUpPrecedesFirstFlush) {
+  CompressedPairConfig config;
+  config.transmissions = 2;
+  run_d2d_pair(config);
+  const auto& events = global_trace().events();
+  std::optional<TimePoint> link_up, first_flush;
+  for (const auto& e : events) {
+    if (!link_up && e.category == TraceCategory::d2d &&
+        e.message.rfind("link up", 0) == 0) {
+      link_up = e.when;
+    }
+    if (!first_flush && e.category == TraceCategory::scheduler) {
+      first_flush = e.when;
+    }
+  }
+  ASSERT_TRUE(link_up.has_value());
+  ASSERT_TRUE(first_flush.has_value());
+  EXPECT_LT(*link_up, *first_flush);
+}
+
+TEST_F(TraceIntegrationTest, RrcWalkIsLegal) {
+  CompressedPairConfig config;
+  config.transmissions = 3;
+  run_original_pair(config);
+  // Every RRC trace message is "FROM -> TO"; verify each FROM matches
+  // the previous TO per node.
+  std::map<std::uint64_t, std::string> last_state;
+  for (const auto& e : global_trace().events()) {
+    if (e.category != TraceCategory::rrc) continue;
+    const auto arrow = e.message.find(" -> ");
+    ASSERT_NE(arrow, std::string::npos);
+    const std::string from = e.message.substr(0, arrow);
+    const std::string to = e.message.substr(arrow + 4);
+    const auto it = last_state.find(e.node.value);
+    if (it != last_state.end()) {
+      EXPECT_EQ(it->second, from) << "node " << e.node.value;
+    } else {
+      EXPECT_EQ(from, "IDLE");  // phones start idle
+    }
+    last_state[e.node.value] = to;
+  }
+  // Everyone ends idle once traffic stops.
+  for (const auto& [node, state] : last_state) {
+    EXPECT_EQ(state, "IDLE") << "node " << node;
+  }
+}
+
+TEST_F(TraceIntegrationTest, DisabledTraceStaysEmpty) {
+  global_trace().set_enabled(false);
+  CompressedPairConfig config;
+  config.transmissions = 2;
+  run_d2d_pair(config);
+  EXPECT_TRUE(global_trace().events().empty());
+}
+
+}  // namespace
+}  // namespace d2dhb::scenario

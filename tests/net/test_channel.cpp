@@ -1,0 +1,77 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::net {
+namespace {
+
+UplinkBundle bundle_of(std::uint64_t node) {
+  UplinkBundle b;
+  b.sender = NodeId{node};
+  HeartbeatMessage m;
+  m.id = MessageId{node};
+  m.origin = NodeId{node};
+  m.size = Bytes{54};
+  b.messages = {m};
+  return b;
+}
+
+TEST(Channel, DeliversAfterLatency) {
+  sim::Simulator sim;
+  Channel ch{sim, Channel::Params{milliseconds(50), 0.0}, Rng{1}};
+  TimePoint delivered_at{};
+  ch.set_receiver([&](const UplinkBundle&) { delivered_at = sim.now(); });
+  EXPECT_TRUE(ch.send(bundle_of(1)));
+  sim.run();
+  EXPECT_EQ(delivered_at, TimePoint{} + milliseconds(50));
+  EXPECT_EQ(ch.sent(), 1u);
+  EXPECT_EQ(ch.delivered(), 1u);
+  EXPECT_EQ(ch.dropped(), 0u);
+}
+
+TEST(Channel, LossDropsDeterministically) {
+  sim::Simulator sim;
+  Channel ch{sim, Channel::Params{milliseconds(1), 1.0}, Rng{2}};
+  int received = 0;
+  ch.set_receiver([&](const UplinkBundle&) { ++received; });
+  EXPECT_FALSE(ch.send(bundle_of(1)));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(ch.dropped(), 1u);
+}
+
+TEST(Channel, PartialLossApproximatesRate) {
+  sim::Simulator sim;
+  Channel ch{sim, Channel::Params{milliseconds(1), 0.25}, Rng{3}};
+  int received = 0;
+  ch.set_receiver([&](const UplinkBundle&) { ++received; });
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) ch.send(bundle_of(1));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.75, 0.03);
+  EXPECT_EQ(ch.delivered() + ch.dropped(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Channel, NoReceiverIsSafe) {
+  sim::Simulator sim;
+  Channel ch{sim, Channel::Params{}, Rng{4}};
+  ch.send(bundle_of(1));
+  sim.run();  // must not crash
+  EXPECT_EQ(ch.delivered(), 1u);
+}
+
+TEST(Channel, PreservesBundleContents) {
+  sim::Simulator sim;
+  Channel ch{sim, Channel::Params{}, Rng{5}};
+  UplinkBundle got;
+  ch.set_receiver([&](const UplinkBundle& b) { got = b; });
+  UplinkBundle b = bundle_of(7);
+  b.messages.push_back(b.messages.front());
+  ch.send(b);
+  sim.run();
+  EXPECT_EQ(got.sender, NodeId{7});
+  EXPECT_EQ(got.messages.size(), 2u);
+}
+
+}  // namespace
+}  // namespace d2dhb::net

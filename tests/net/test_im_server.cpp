@@ -1,0 +1,108 @@
+#include "net/im_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::net {
+namespace {
+
+class ImServerTest : public ::testing::Test {
+ protected:
+  HeartbeatMessage heartbeat(std::uint64_t node, double expiry_s = 300.0) {
+    HeartbeatMessage m;
+    m.id = MessageId{++next_id_};
+    m.origin = NodeId{node};
+    m.app = AppId{node};
+    m.size = Bytes{54};
+    m.period = seconds(300);
+    m.expiry = seconds(expiry_s);
+    m.created_at = sim_.now();
+    return m;
+  }
+
+  sim::Simulator sim_;
+  ImServer server_{sim_};
+  std::uint64_t next_id_{0};
+};
+
+TEST_F(ImServerTest, RegisteredClientStartsOnline) {
+  server_.register_client(NodeId{1}, AppId{1}, seconds(300));
+  EXPECT_TRUE(server_.online(NodeId{1}, AppId{1}));
+}
+
+TEST_F(ImServerTest, UnknownClientIsOffline) {
+  EXPECT_FALSE(server_.online(NodeId{99}, AppId{99}));
+}
+
+TEST_F(ImServerTest, GoesOfflineAfterExpiry) {
+  server_.register_client(NodeId{1}, AppId{1}, seconds(300));
+  sim_.run_until(TimePoint{} + seconds(301));
+  EXPECT_FALSE(server_.online(NodeId{1}, AppId{1}));
+}
+
+TEST_F(ImServerTest, HeartbeatResetsDeadline) {
+  server_.register_client(NodeId{1}, AppId{1}, seconds(300));
+  sim_.run_until(TimePoint{} + seconds(250));
+  server_.deliver(heartbeat(1));
+  sim_.run_until(TimePoint{} + seconds(500));
+  EXPECT_TRUE(server_.online(NodeId{1}, AppId{1}));  // deadline now 550
+  const auto& s = server_.stats(NodeId{1}, AppId{1});
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.on_time, 1u);
+  EXPECT_EQ(s.late, 0u);
+}
+
+TEST_F(ImServerTest, LateHeartbeatCountsOfflineEvent) {
+  server_.register_client(NodeId{1}, AppId{1}, seconds(300));
+  sim_.run_until(TimePoint{} + seconds(400));  // 100 s past deadline
+  server_.deliver(heartbeat(1));
+  const auto& s = server_.stats(NodeId{1}, AppId{1});
+  EXPECT_EQ(s.late, 1u);
+  EXPECT_EQ(s.offline_events, 1u);
+  EXPECT_EQ(s.total_offline, seconds(100));
+  // Back online after the late heartbeat.
+  EXPECT_TRUE(server_.online(NodeId{1}, AppId{1}));
+}
+
+TEST_F(ImServerTest, AutoRegistersOnFirstContact) {
+  server_.deliver(heartbeat(5, 200.0));
+  EXPECT_TRUE(server_.online(NodeId{5}, AppId{5}));
+  sim_.run_until(TimePoint{} + seconds(201));
+  EXPECT_FALSE(server_.online(NodeId{5}, AppId{5}));
+}
+
+TEST_F(ImServerTest, BundleDeliversAllMessages) {
+  UplinkBundle bundle;
+  bundle.sender = NodeId{1};
+  bundle.messages = {heartbeat(1), heartbeat(2), heartbeat(3)};
+  server_.deliver(bundle);
+  EXPECT_EQ(server_.session_count(), 3u);
+  EXPECT_EQ(server_.totals().delivered, 3u);
+  EXPECT_EQ(server_.totals().on_time, 3u);
+}
+
+TEST_F(ImServerTest, TotalsAggregateAcrossSessions) {
+  server_.register_client(NodeId{1}, AppId{1}, seconds(100));
+  server_.register_client(NodeId{2}, AppId{2}, seconds(100));
+  sim_.run_until(TimePoint{} + seconds(150));  // both lapsed
+  server_.deliver(heartbeat(1));
+  server_.deliver(heartbeat(2));
+  const auto t = server_.totals();
+  EXPECT_EQ(t.delivered, 2u);
+  EXPECT_EQ(t.late, 2u);
+  EXPECT_EQ(t.offline_events, 2u);
+}
+
+TEST_F(ImServerTest, StatsThrowsForUnknownSession) {
+  EXPECT_THROW(server_.stats(NodeId{42}, AppId{42}), std::out_of_range);
+}
+
+TEST_F(ImServerTest, DistinctAppsOnSameNodeAreIndependent) {
+  server_.register_client(NodeId{1}, AppId{10}, seconds(100));
+  server_.register_client(NodeId{1}, AppId{20}, seconds(500));
+  sim_.run_until(TimePoint{} + seconds(200));
+  EXPECT_FALSE(server_.online(NodeId{1}, AppId{10}));
+  EXPECT_TRUE(server_.online(NodeId{1}, AppId{20}));
+}
+
+}  // namespace
+}  // namespace d2dhb::net

@@ -1,0 +1,78 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::net {
+namespace {
+
+HeartbeatMessage make(std::uint64_t id, std::uint32_t size,
+                      double expiry_s = 270.0) {
+  HeartbeatMessage m;
+  m.id = MessageId{id};
+  m.origin = NodeId{1};
+  m.app = AppId{1};
+  m.size = Bytes{size};
+  m.period = seconds(270);
+  m.expiry = seconds(expiry_s);
+  m.created_at = TimePoint{} + seconds(100);
+  return m;
+}
+
+TEST(HeartbeatMessage, DeadlineIsCreationPlusExpiry) {
+  const HeartbeatMessage m = make(1, 54, 270.0);
+  EXPECT_EQ(m.deadline(), TimePoint{} + seconds(370));
+}
+
+TEST(UplinkBundle, SingleMessageHasNoAggregationHeader) {
+  UplinkBundle b;
+  b.sender = NodeId{1};
+  b.messages = {make(1, 54)};
+  EXPECT_EQ(b.payload_size().value, 54u);
+}
+
+TEST(UplinkBundle, AggregatePaysPerMessageHeader) {
+  UplinkBundle b;
+  b.sender = NodeId{1};
+  b.messages = {make(1, 54), make(2, 54), make(3, 54)};
+  EXPECT_EQ(b.payload_size().value,
+            3 * 54 + 3 * UplinkBundle::kAggregationHeader.value);
+}
+
+TEST(UplinkBundle, EmptyBundleIsZeroBytes) {
+  UplinkBundle b;
+  EXPECT_EQ(b.payload_size().value, 0u);
+}
+
+TEST(D2dPayload, HeartbeatSize) {
+  const D2dPayload p{make(1, 74)};
+  EXPECT_EQ(payload_size(p).value, 74u);
+}
+
+TEST(D2dPayload, FeedbackAckSizeScalesWithIds) {
+  FeedbackAck ack;
+  ack.relay = NodeId{9};
+  ack.delivered = {MessageId{1}, MessageId{2}};
+  EXPECT_EQ(payload_size(D2dPayload{ack}).value, 12u + 16u);
+}
+
+TEST(StandardSize, MatchesPaper) {
+  EXPECT_EQ(kStandardHeartbeatSize.value, 54u);
+}
+
+TEST(UplinkBundle, ExtraPayloadRidesAlong) {
+  UplinkBundle b;
+  b.sender = NodeId{1};
+  b.extra_payload = Bytes{500};  // chat data a heartbeat piggybacks on
+  b.messages = {make(1, 54)};
+  EXPECT_EQ(b.payload_size().value, 554u);
+}
+
+TEST(UplinkBundle, DataOnlyBundle) {
+  UplinkBundle b;
+  b.sender = NodeId{1};
+  b.extra_payload = Bytes{300};
+  EXPECT_EQ(b.payload_size().value, 300u);
+}
+
+}  // namespace
+}  // namespace d2dhb::net

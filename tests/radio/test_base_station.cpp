@@ -1,0 +1,66 @@
+#include "radio/base_station.hpp"
+
+#include <gtest/gtest.h>
+
+namespace d2dhb::radio {
+namespace {
+
+net::UplinkBundle bundle_with(std::initializer_list<std::uint64_t> origins) {
+  net::UplinkBundle b;
+  b.sender = NodeId{*origins.begin()};
+  std::uint64_t id = 0;
+  for (const auto origin : origins) {
+    net::HeartbeatMessage m;
+    m.id = MessageId{++id};
+    m.origin = NodeId{origin};
+    m.app = AppId{origin};
+    m.size = Bytes{54};
+    m.expiry = seconds(300);
+    b.messages.push_back(m);
+  }
+  return b;
+}
+
+TEST(BaseStation, ForwardsToServer) {
+  sim::Simulator sim;
+  net::ImServer server{sim};
+  BaseStation bs{sim, server, net::Channel::Params{milliseconds(50), 0.0},
+                 Rng{1}};
+  bs.receive(bundle_with({1, 2, 3}));
+  sim.run();
+  EXPECT_EQ(server.totals().delivered, 3u);
+  EXPECT_EQ(bs.bundles_received(), 1u);
+  EXPECT_EQ(bs.heartbeats_received(), 3u);
+}
+
+TEST(BaseStation, CountsBytesWithAggregationHeaders) {
+  sim::Simulator sim;
+  net::ImServer server{sim};
+  BaseStation bs{sim, server, net::Channel::Params{}, Rng{1}};
+  bs.receive(bundle_with({1, 2}));
+  EXPECT_EQ(bs.bytes_received(),
+            2u * 54u + 2u * net::UplinkBundle::kAggregationHeader.value);
+}
+
+TEST(BaseStation, LossyBackhaulDropsDeliveries) {
+  sim::Simulator sim;
+  net::ImServer server{sim};
+  BaseStation bs{sim, server, net::Channel::Params{milliseconds(1), 1.0},
+                 Rng{1}};
+  bs.receive(bundle_with({1}));
+  sim.run();
+  EXPECT_EQ(server.totals().delivered, 0u);
+  EXPECT_EQ(bs.bundles_received(), 1u);  // the BS still saw it
+}
+
+TEST(BaseStation, SignalingCounterIsShared) {
+  sim::Simulator sim;
+  net::ImServer server{sim};
+  BaseStation bs{sim, server, net::Channel::Params{}, Rng{1}};
+  bs.signaling().record(sim.now(), NodeId{1},
+                        L3MessageType::rrc_connection_request);
+  EXPECT_EQ(bs.signaling().total(), 1u);
+}
+
+}  // namespace
+}  // namespace d2dhb::radio

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace d2dhb::sim {
+namespace {
+
+TEST(PeriodicTimer, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  PeriodicTimer timer{sim, seconds(10),
+                      [&] { fire_times.push_back(to_seconds(sim.now())); }};
+  timer.start();
+  sim.run_until(TimePoint{} + seconds(35));
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(PeriodicTimer, StartAfterCustomDelay) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  PeriodicTimer timer{sim, seconds(10),
+                      [&] { fire_times.push_back(to_seconds(sim.now())); }};
+  timer.start_after(seconds(3));
+  sim.run_until(TimePoint{} + seconds(25));
+  EXPECT_EQ(fire_times, (std::vector<double>{3.0, 13.0, 23.0}));
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer{sim, seconds(1), [&] { ++ticks; }};
+  timer.start();
+  sim.run_until(TimePoint{} + seconds(3));
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.run_until(TimePoint{} + seconds(10));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer{sim, seconds(1), [&] {
+                        if (++ticks == 2) timer.stop();
+                      }};
+  timer.start();
+  sim.run_until(TimePoint{} + seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  PeriodicTimer timer{sim, seconds(10),
+                      [&] { fire_times.push_back(to_seconds(sim.now())); }};
+  timer.start();
+  sim.run_until(TimePoint{} + seconds(15));  // one tick at 10
+  timer.start();                             // re-phase from t=15
+  sim.run_until(TimePoint{} + seconds(30));
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 25.0}));
+}
+
+TEST(PeriodicTimer, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, Duration::zero(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(PeriodicTimer(sim, seconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(PeriodicTimer, DestructionCancelsCleanly) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer{sim, seconds(1), [&] { ++ticks; }};
+    timer.start();
+  }  // destroyed while armed
+  sim.run_until(TimePoint{} + seconds(5));
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace d2dhb::sim

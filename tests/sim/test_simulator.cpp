@@ -1,0 +1,171 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace d2dhb::sim {
+namespace {
+
+TEST(Simulator, StartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint{});
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(seconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(seconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{} + seconds(3));
+}
+
+TEST(Simulator, FifoWithinSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_after(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, AdvancesClockToEventTime) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule_after(milliseconds(1500), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint{} + milliseconds(1500));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(seconds(1), [&] {
+    sim.schedule_after(seconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + seconds(2));
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::zero(), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint{});
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_after(seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{} + seconds(1), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(seconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(seconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(seconds(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(seconds(1), [&] { ++fired; });
+  sim.schedule_after(seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(seconds(1), [&] { ++fired; });
+  sim.schedule_after(seconds(10), [&] { ++fired; });
+  sim.run_until(TimePoint{} + seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + seconds(5));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(seconds(5), [&] { fired = true; });
+  sim.run_until(TimePoint{} + seconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(seconds(1), [&] { fired = true; });
+  sim.schedule_after(seconds(2), [] {});
+  sim.cancel(id);
+  sim.run_until(TimePoint{} + seconds(3));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(seconds(i + 1), [&] { ++fired; });
+  }
+  sim.run(3);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  TimePoint last{};
+  bool monotone = true;
+  for (int i = 0; i < 5000; ++i) {
+    // Deterministic pseudo-scatter of delays.
+    const auto delay = microseconds((i * 7919) % 100000);
+    sim.schedule_after(delay, [&, delay] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 5000u);
+}
+
+}  // namespace
+}  // namespace d2dhb::sim

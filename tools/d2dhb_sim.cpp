@@ -1,0 +1,250 @@
+// d2dhb_sim — command-line experiment runner.
+//
+// Runs any of the library's canned experiment families from the shell,
+// with the knobs exposed as flags and results printed as tables (CSV via
+// D2DHB_CSV_DIR, like the benches).
+//
+//   d2dhb_sim pair   [--ues N] [--tx K] [--distance M] [--bytes B]
+//                    [--period S] [--capacity M] [--lte] [--seed S]
+//   d2dhb_sim crowd  [--phones N] [--relay-fraction F] [--area M]
+//                    [--duration S] [--mobile] [--policy greedy|random|
+//                    density|first-n] [--seed S]
+//   d2dhb_sim baselines [--phones N] [--duration S] [--seed S]
+//   d2dhb_sim traces
+//
+// Exit status: 0 on success, 2 on bad usage.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scenario/baselines.hpp"
+#include "scenario/compressed_pair.hpp"
+#include "scenario/crowd.hpp"
+#include "scenario/probes.hpp"
+
+namespace {
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <pair|crowd|baselines|traces> [flags]\n"
+      << "  pair       relay + N UEs, compressed-period methodology\n"
+      << "    --ues N --tx K --distance M --bytes B --period S\n"
+      << "    --capacity M --lte --seed S\n"
+      << "  crowd      clustered crowd, real heartbeat periods\n"
+      << "    --phones N --relay-fraction F --area M --duration S\n"
+      << "    --mobile --policy greedy|random|density|first-n --seed S\n"
+      << "  baselines  related-work strategy comparison\n"
+      << "    --phones N --duration S --seed S\n"
+      << "  traces     Fig. 6/7 current traces\n";
+  std::exit(2);
+}
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> value(const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        used_[i] = used_[i + 1] = true;
+        return args_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  double number(const std::string& name, double fallback) {
+    const auto v = value(name);
+    return v ? std::stod(*v) : fallback;
+  }
+
+  /// Complains about anything not consumed. Returns false on leftovers.
+  bool check(const char* argv0) {
+    bool ok = true;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_.contains(i) && args_[i].rfind("--", 0) == 0) {
+        std::cerr << "unknown flag: " << args_[i] << '\n';
+        ok = false;
+      }
+    }
+    if (!ok) usage(argv0);
+    return ok;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::map<std::size_t, bool> used_;
+};
+
+int run_pair(Flags& flags, const char* argv0) {
+  CompressedPairConfig config;
+  config.num_ues = static_cast<std::size_t>(flags.number("--ues", 1));
+  config.transmissions = static_cast<std::size_t>(flags.number("--tx", 8));
+  config.ue_distance_m = flags.number("--distance", 1.0);
+  config.heartbeat_bytes =
+      static_cast<std::uint32_t>(flags.number("--bytes", 54));
+  config.period_s = flags.number("--period", 20.0);
+  config.capacity = static_cast<std::size_t>(flags.number("--capacity", 7));
+  config.use_lte = flags.has("--lte");
+  config.seed = static_cast<std::uint64_t>(flags.number("--seed", 1));
+  flags.check(argv0);
+
+  const PairMetrics d2d = run_d2d_pair(config);
+  const PairMetrics orig = run_original_pair(config);
+  const Savings s = compare(orig, d2d);
+
+  Table table{{"Metric", "Original", "D2D framework"}};
+  table.add_row({"System radio energy (uAh)", Table::num(orig.system_uah, 0),
+                 Table::num(d2d.system_uah, 0)});
+  table.add_row({"UE radio energy (uAh)", Table::num(orig.ue_uah_total, 0),
+                 Table::num(d2d.ue_uah_total, 0)});
+  table.add_row({"Relay radio energy (uAh)", Table::num(orig.relay_uah, 0),
+                 Table::num(d2d.relay_uah, 0)});
+  table.add_row({"Layer-3 messages", std::to_string(orig.system_l3),
+                 std::to_string(d2d.system_l3)});
+  table.add_row({"Cellular bundles", std::to_string(orig.bundles),
+                 std::to_string(d2d.bundles)});
+  table.add_row({"Heartbeats delivered",
+                 std::to_string(orig.server.delivered),
+                 std::to_string(d2d.server.delivered)});
+  table.add_row({"Late / offline",
+                 std::to_string(orig.server.late) + " / " +
+                     std::to_string(orig.server.offline_events),
+                 std::to_string(d2d.server.late) + " / " +
+                     std::to_string(d2d.server.offline_events)});
+  table.print(std::cout);
+  std::cout << "\nSavings: system energy "
+            << Table::num(100 * s.system_energy_fraction, 1)
+            << "%, UE energy " << Table::num(100 * s.ue_energy_fraction, 1)
+            << "%, signaling "
+            << Table::num(100 * s.signaling_fraction, 1) << "%\n";
+  return 0;
+}
+
+int run_crowd(Flags& flags, const char* argv0) {
+  CrowdConfig config;
+  config.phones = static_cast<std::size_t>(flags.number("--phones", 48));
+  config.relay_fraction = flags.number("--relay-fraction", 0.2);
+  config.area_m = flags.number("--area", 100.0);
+  config.duration_s = flags.number("--duration", 3600.0);
+  config.mobile = flags.has("--mobile");
+  config.seed = static_cast<std::uint64_t>(flags.number("--seed", 7));
+  if (const auto policy = flags.value("--policy")) {
+    if (*policy == "greedy") {
+      config.operator_policy = core::SelectionPolicy::coverage_greedy;
+    } else if (*policy == "random") {
+      config.operator_policy = core::SelectionPolicy::random;
+    } else if (*policy == "density") {
+      config.operator_policy = core::SelectionPolicy::density;
+    } else if (*policy == "first-n") {
+      config.operator_policy.reset();
+    } else {
+      std::cerr << "unknown --policy: " << *policy << '\n';
+      usage(argv0);
+    }
+  }
+  flags.check(argv0);
+
+  const CrowdMetrics d2d = run_d2d_crowd(config);
+  const CrowdMetrics orig = run_original_crowd(config);
+
+  Table table{{"Metric", "Original", "D2D framework"}};
+  table.add_row({"Phones / relays",
+                 std::to_string(config.phones) + " / 0",
+                 std::to_string(config.phones) + " / " +
+                     std::to_string(d2d.relays)});
+  table.add_row({"Layer-3 messages", std::to_string(orig.total_l3),
+                 std::to_string(d2d.total_l3)});
+  table.add_row({"Peak L3 / 10 s", std::to_string(orig.peak_l3_per_10s),
+                 std::to_string(d2d.peak_l3_per_10s)});
+  table.add_row({"Fleet radio energy (uAh)",
+                 Table::num(orig.total_radio_uah, 0),
+                 Table::num(d2d.total_radio_uah, 0)});
+  table.add_row({"Heartbeats delivered",
+                 std::to_string(orig.heartbeats_delivered),
+                 std::to_string(d2d.heartbeats_delivered)});
+  table.add_row({"Forwarded via D2D", "0",
+                 std::to_string(d2d.forwarded_via_d2d)});
+  table.add_row({"Fallbacks / link losses", "0 / 0",
+                 std::to_string(d2d.fallbacks) + " / " +
+                     std::to_string(d2d.link_losses)});
+  table.add_row({"Offline events", std::to_string(orig.server.offline_events),
+                 std::to_string(d2d.server.offline_events)});
+  table.add_row({"Relay credits issued", "0",
+                 Table::num(d2d.credits_issued, 0)});
+  table.print(std::cout);
+  if (config.operator_policy.has_value()) {
+    std::cout << "\nOperator relay coverage: "
+              << Table::num(100 * d2d.relay_coverage, 1) << "%\n";
+  }
+  return 0;
+}
+
+int run_baselines(Flags& flags, const char* argv0) {
+  BaselineConfig config;
+  config.phones = static_cast<std::size_t>(flags.number("--phones", 12));
+  config.duration_s = flags.number("--duration", 3600.0);
+  config.seed = static_cast<std::uint64_t>(flags.number("--seed", 21));
+  flags.check(argv0);
+
+  Table table{{"Strategy", "L3 msgs", "Radio uAh", "Mean delay (s)",
+               "Offline detect (s)", "Notes"}};
+  for (const StrategyMetrics& s : run_all_strategies(config)) {
+    table.add_row({s.name, std::to_string(s.total_l3),
+                   Table::num(s.total_radio_uah, 0),
+                   Table::num(s.mean_latency_s, 1),
+                   Table::num(s.offline_detection_s, 0), s.note});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_traces(Flags& flags, const char* argv0) {
+  flags.check(argv0);
+  const TraceResult d2d = trace_d2d_transfer();
+  const TraceResult cell = trace_cellular_transfer();
+  AsciiChart chart{"Current traces (0.1 s sampling)", "time (s)",
+                   "current (mA)"};
+  chart.add(d2d.series);
+  Series shifted = cell.series;
+  chart.add(shifted);
+  chart.print(std::cout);
+  std::cout << "D2D: peak " << Table::num(d2d.peak_ma, 0) << " mA, "
+            << Table::num(d2d.charge_uah, 1) << " uAh; cellular: peak "
+            << Table::num(cell.peak_ma, 0) << " mA, "
+            << Table::num(cell.charge_uah, 1) << " uAh\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string mode = argv[1];
+  Flags flags{argc, argv, 2};
+  if (mode == "pair") return run_pair(flags, argv[0]);
+  if (mode == "crowd") return run_crowd(flags, argv[0]);
+  if (mode == "baselines") return run_baselines(flags, argv[0]);
+  if (mode == "traces") return run_traces(flags, argv[0]);
+  usage(argv[0]);
+}
