@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_d2d_tech.dir/ablation_d2d_tech.cpp.o"
+  "CMakeFiles/bench_ablation_d2d_tech.dir/ablation_d2d_tech.cpp.o.d"
+  "bench_ablation_d2d_tech"
+  "bench_ablation_d2d_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_d2d_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_feedback.cpp" "bench/CMakeFiles/bench_ablation_feedback.dir/ablation_feedback.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_feedback.dir/ablation_feedback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/d2dhb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d2dhb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/d2dhb_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/d2d/CMakeFiles/d2dhb_d2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/d2dhb_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/d2dhb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_strategies.dir/baseline_strategies.cpp.o"
+  "CMakeFiles/bench_baseline_strategies.dir/baseline_strategies.cpp.o.d"
+  "bench_baseline_strategies"
+  "bench_baseline_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

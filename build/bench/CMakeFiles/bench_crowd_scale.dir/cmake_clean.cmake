@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crowd_scale.dir/crowd_scale.cpp.o"
+  "CMakeFiles/bench_crowd_scale.dir/crowd_scale.cpp.o.d"
+  "bench_crowd_scale"
+  "bench_crowd_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crowd_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

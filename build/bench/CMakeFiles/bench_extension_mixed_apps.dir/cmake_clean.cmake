@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_mixed_apps.dir/extension_mixed_apps.cpp.o"
+  "CMakeFiles/bench_extension_mixed_apps.dir/extension_mixed_apps.cpp.o.d"
+  "bench_extension_mixed_apps"
+  "bench_extension_mixed_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_mixed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

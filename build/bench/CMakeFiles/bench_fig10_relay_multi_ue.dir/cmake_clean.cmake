@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_relay_multi_ue.dir/fig10_relay_multi_ue.cpp.o"
+  "CMakeFiles/bench_fig10_relay_multi_ue.dir/fig10_relay_multi_ue.cpp.o.d"
+  "bench_fig10_relay_multi_ue"
+  "bench_fig10_relay_multi_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_relay_multi_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

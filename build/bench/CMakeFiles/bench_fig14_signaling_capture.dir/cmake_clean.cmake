@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_signaling_capture.dir/fig14_signaling_capture.cpp.o"
+  "CMakeFiles/bench_fig14_signaling_capture.dir/fig14_signaling_capture.cpp.o.d"
+  "bench_fig14_signaling_capture"
+  "bench_fig14_signaling_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_signaling_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

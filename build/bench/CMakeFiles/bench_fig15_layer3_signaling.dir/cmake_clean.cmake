@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_layer3_signaling.dir/fig15_layer3_signaling.cpp.o"
+  "CMakeFiles/bench_fig15_layer3_signaling.dir/fig15_layer3_signaling.cpp.o.d"
+  "bench_fig15_layer3_signaling"
+  "bench_fig15_layer3_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_layer3_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_current_traces.dir/fig6_7_current_traces.cpp.o"
+  "CMakeFiles/bench_fig6_7_current_traces.dir/fig6_7_current_traces.cpp.o.d"
+  "bench_fig6_7_current_traces"
+  "bench_fig6_7_current_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_current_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

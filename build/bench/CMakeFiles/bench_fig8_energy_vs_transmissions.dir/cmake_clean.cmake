@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_energy_vs_transmissions.dir/fig8_energy_vs_transmissions.cpp.o"
+  "CMakeFiles/bench_fig8_energy_vs_transmissions.dir/fig8_energy_vs_transmissions.cpp.o.d"
+  "bench_fig8_energy_vs_transmissions"
+  "bench_fig8_energy_vs_transmissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_energy_vs_transmissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_energy_vs_transmissions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicell_storm.dir/multicell_storm.cpp.o"
+  "CMakeFiles/bench_multicell_storm.dir/multicell_storm.cpp.o.d"
+  "bench_multicell_storm"
+  "bench_multicell_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicell_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

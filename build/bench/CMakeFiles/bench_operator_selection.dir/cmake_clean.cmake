@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operator_selection.dir/operator_selection.cpp.o"
+  "CMakeFiles/bench_operator_selection.dir/operator_selection.cpp.o.d"
+  "bench_operator_selection"
+  "bench_operator_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

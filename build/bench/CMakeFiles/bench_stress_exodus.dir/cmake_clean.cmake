@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stress_exodus.dir/stress_exodus.cpp.o"
+  "CMakeFiles/bench_stress_exodus.dir/stress_exodus.cpp.o.d"
+  "bench_stress_exodus"
+  "bench_stress_exodus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stress_exodus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_heartbeat_share.dir/table1_heartbeat_share.cpp.o"
+  "CMakeFiles/bench_table1_heartbeat_share.dir/table1_heartbeat_share.cpp.o.d"
+  "bench_table1_heartbeat_share"
+  "bench_table1_heartbeat_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_heartbeat_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_stadium.dir/crowd_stadium.cpp.o"
+  "CMakeFiles/crowd_stadium.dir/crowd_stadium.cpp.o.d"
+  "crowd_stadium"
+  "crowd_stadium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_stadium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

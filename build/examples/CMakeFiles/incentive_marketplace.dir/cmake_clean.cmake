@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incentive_marketplace.dir/incentive_marketplace.cpp.o"
+  "CMakeFiles/incentive_marketplace.dir/incentive_marketplace.cpp.o.d"
+  "incentive_marketplace"
+  "incentive_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incentive_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

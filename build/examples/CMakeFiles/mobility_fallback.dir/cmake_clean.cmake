@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_fallback.dir/mobility_fallback.cpp.o"
+  "CMakeFiles/mobility_fallback.dir/mobility_fallback.cpp.o.d"
+  "mobility_fallback"
+  "mobility_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

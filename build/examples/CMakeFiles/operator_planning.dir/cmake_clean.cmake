@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_planning.dir/operator_planning.cpp.o"
+  "CMakeFiles/operator_planning.dir/operator_planning.cpp.o.d"
+  "operator_planning"
+  "operator_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/src/app_profile.cpp" "src/apps/CMakeFiles/d2dhb_apps.dir/src/app_profile.cpp.o" "gcc" "src/apps/CMakeFiles/d2dhb_apps.dir/src/app_profile.cpp.o.d"
+  "/root/repo/src/apps/src/heartbeat_app.cpp" "src/apps/CMakeFiles/d2dhb_apps.dir/src/heartbeat_app.cpp.o" "gcc" "src/apps/CMakeFiles/d2dhb_apps.dir/src/heartbeat_app.cpp.o.d"
+  "/root/repo/src/apps/src/traffic_mix.cpp" "src/apps/CMakeFiles/d2dhb_apps.dir/src/traffic_mix.cpp.o" "gcc" "src/apps/CMakeFiles/d2dhb_apps.dir/src/traffic_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

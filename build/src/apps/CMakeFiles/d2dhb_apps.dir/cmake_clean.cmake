@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_apps.dir/src/app_profile.cpp.o"
+  "CMakeFiles/d2dhb_apps.dir/src/app_profile.cpp.o.d"
+  "CMakeFiles/d2dhb_apps.dir/src/heartbeat_app.cpp.o"
+  "CMakeFiles/d2dhb_apps.dir/src/heartbeat_app.cpp.o.d"
+  "CMakeFiles/d2dhb_apps.dir/src/traffic_mix.cpp.o"
+  "CMakeFiles/d2dhb_apps.dir/src/traffic_mix.cpp.o.d"
+  "libd2dhb_apps.a"
+  "libd2dhb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

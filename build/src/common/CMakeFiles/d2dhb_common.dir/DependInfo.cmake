@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/src/log.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/log.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/log.cpp.o.d"
+  "/root/repo/src/common/src/result.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/result.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/result.cpp.o.d"
+  "/root/repo/src/common/src/rng.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/rng.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/rng.cpp.o.d"
+  "/root/repo/src/common/src/stats.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/stats.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/stats.cpp.o.d"
+  "/root/repo/src/common/src/table.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/table.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/table.cpp.o.d"
+  "/root/repo/src/common/src/tracelog.cpp" "src/common/CMakeFiles/d2dhb_common.dir/src/tracelog.cpp.o" "gcc" "src/common/CMakeFiles/d2dhb_common.dir/src/tracelog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

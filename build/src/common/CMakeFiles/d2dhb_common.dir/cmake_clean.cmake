@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_common.dir/src/log.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/log.cpp.o.d"
+  "CMakeFiles/d2dhb_common.dir/src/result.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/result.cpp.o.d"
+  "CMakeFiles/d2dhb_common.dir/src/rng.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/d2dhb_common.dir/src/stats.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/d2dhb_common.dir/src/table.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/table.cpp.o.d"
+  "CMakeFiles/d2dhb_common.dir/src/tracelog.cpp.o"
+  "CMakeFiles/d2dhb_common.dir/src/tracelog.cpp.o.d"
+  "libd2dhb_common.a"
+  "libd2dhb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

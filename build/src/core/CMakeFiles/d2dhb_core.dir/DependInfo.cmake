@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/analysis.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/analysis.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/core/src/baseline_agent.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/baseline_agent.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/baseline_agent.cpp.o.d"
+  "/root/repo/src/core/src/detector.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/detector.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/detector.cpp.o.d"
+  "/root/repo/src/core/src/feedback.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/feedback.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/feedback.cpp.o.d"
+  "/root/repo/src/core/src/incentive.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/incentive.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/incentive.cpp.o.d"
+  "/root/repo/src/core/src/message_monitor.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/message_monitor.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/message_monitor.cpp.o.d"
+  "/root/repo/src/core/src/operator_selection.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/operator_selection.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/operator_selection.cpp.o.d"
+  "/root/repo/src/core/src/original_agent.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/original_agent.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/original_agent.cpp.o.d"
+  "/root/repo/src/core/src/phone.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/phone.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/phone.cpp.o.d"
+  "/root/repo/src/core/src/relay_agent.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/relay_agent.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/relay_agent.cpp.o.d"
+  "/root/repo/src/core/src/scheduler.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/core/src/ue_agent.cpp" "src/core/CMakeFiles/d2dhb_core.dir/src/ue_agent.cpp.o" "gcc" "src/core/CMakeFiles/d2dhb_core.dir/src/ue_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/d2dhb_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/d2dhb_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/d2d/CMakeFiles/d2dhb_d2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/d2dhb_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

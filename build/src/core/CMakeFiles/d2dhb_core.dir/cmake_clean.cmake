@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_core.dir/src/analysis.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/baseline_agent.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/baseline_agent.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/detector.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/detector.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/feedback.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/feedback.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/incentive.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/incentive.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/message_monitor.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/message_monitor.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/operator_selection.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/operator_selection.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/original_agent.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/original_agent.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/phone.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/phone.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/relay_agent.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/relay_agent.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/scheduler.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/d2dhb_core.dir/src/ue_agent.cpp.o"
+  "CMakeFiles/d2dhb_core.dir/src/ue_agent.cpp.o.d"
+  "libd2dhb_core.a"
+  "libd2dhb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

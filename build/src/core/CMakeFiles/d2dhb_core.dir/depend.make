@@ -1,0 +1,2 @@
+# Empty dependencies file for d2dhb_core.
+# This may be replaced when dependencies are built.

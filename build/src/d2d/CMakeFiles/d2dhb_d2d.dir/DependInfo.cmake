@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/d2d/src/energy_profile.cpp" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/energy_profile.cpp.o" "gcc" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/energy_profile.cpp.o.d"
+  "/root/repo/src/d2d/src/medium.cpp" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/medium.cpp.o" "gcc" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/medium.cpp.o.d"
+  "/root/repo/src/d2d/src/technology.cpp" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/technology.cpp.o" "gcc" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/technology.cpp.o.d"
+  "/root/repo/src/d2d/src/wifi_direct.cpp" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/wifi_direct.cpp.o" "gcc" "src/d2d/CMakeFiles/d2dhb_d2d.dir/src/wifi_direct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/d2dhb_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_d2d.dir/src/energy_profile.cpp.o"
+  "CMakeFiles/d2dhb_d2d.dir/src/energy_profile.cpp.o.d"
+  "CMakeFiles/d2dhb_d2d.dir/src/medium.cpp.o"
+  "CMakeFiles/d2dhb_d2d.dir/src/medium.cpp.o.d"
+  "CMakeFiles/d2dhb_d2d.dir/src/technology.cpp.o"
+  "CMakeFiles/d2dhb_d2d.dir/src/technology.cpp.o.d"
+  "CMakeFiles/d2dhb_d2d.dir/src/wifi_direct.cpp.o"
+  "CMakeFiles/d2dhb_d2d.dir/src/wifi_direct.cpp.o.d"
+  "libd2dhb_d2d.a"
+  "libd2dhb_d2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_d2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/src/battery.cpp" "src/energy/CMakeFiles/d2dhb_energy.dir/src/battery.cpp.o" "gcc" "src/energy/CMakeFiles/d2dhb_energy.dir/src/battery.cpp.o.d"
+  "/root/repo/src/energy/src/current_trace.cpp" "src/energy/CMakeFiles/d2dhb_energy.dir/src/current_trace.cpp.o" "gcc" "src/energy/CMakeFiles/d2dhb_energy.dir/src/current_trace.cpp.o.d"
+  "/root/repo/src/energy/src/energy_meter.cpp" "src/energy/CMakeFiles/d2dhb_energy.dir/src/energy_meter.cpp.o" "gcc" "src/energy/CMakeFiles/d2dhb_energy.dir/src/energy_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

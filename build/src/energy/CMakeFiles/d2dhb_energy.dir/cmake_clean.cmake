@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_energy.dir/src/battery.cpp.o"
+  "CMakeFiles/d2dhb_energy.dir/src/battery.cpp.o.d"
+  "CMakeFiles/d2dhb_energy.dir/src/current_trace.cpp.o"
+  "CMakeFiles/d2dhb_energy.dir/src/current_trace.cpp.o.d"
+  "CMakeFiles/d2dhb_energy.dir/src/energy_meter.cpp.o"
+  "CMakeFiles/d2dhb_energy.dir/src/energy_meter.cpp.o.d"
+  "libd2dhb_energy.a"
+  "libd2dhb_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

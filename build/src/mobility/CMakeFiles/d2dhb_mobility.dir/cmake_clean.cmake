@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_mobility.dir/src/mobility.cpp.o"
+  "CMakeFiles/d2dhb_mobility.dir/src/mobility.cpp.o.d"
+  "libd2dhb_mobility.a"
+  "libd2dhb_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

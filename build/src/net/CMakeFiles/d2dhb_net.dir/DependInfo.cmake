@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/src/channel.cpp" "src/net/CMakeFiles/d2dhb_net.dir/src/channel.cpp.o" "gcc" "src/net/CMakeFiles/d2dhb_net.dir/src/channel.cpp.o.d"
+  "/root/repo/src/net/src/codec.cpp" "src/net/CMakeFiles/d2dhb_net.dir/src/codec.cpp.o" "gcc" "src/net/CMakeFiles/d2dhb_net.dir/src/codec.cpp.o.d"
+  "/root/repo/src/net/src/im_server.cpp" "src/net/CMakeFiles/d2dhb_net.dir/src/im_server.cpp.o" "gcc" "src/net/CMakeFiles/d2dhb_net.dir/src/im_server.cpp.o.d"
+  "/root/repo/src/net/src/message.cpp" "src/net/CMakeFiles/d2dhb_net.dir/src/message.cpp.o" "gcc" "src/net/CMakeFiles/d2dhb_net.dir/src/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

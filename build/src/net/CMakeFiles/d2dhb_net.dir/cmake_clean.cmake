@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_net.dir/src/channel.cpp.o"
+  "CMakeFiles/d2dhb_net.dir/src/channel.cpp.o.d"
+  "CMakeFiles/d2dhb_net.dir/src/codec.cpp.o"
+  "CMakeFiles/d2dhb_net.dir/src/codec.cpp.o.d"
+  "CMakeFiles/d2dhb_net.dir/src/im_server.cpp.o"
+  "CMakeFiles/d2dhb_net.dir/src/im_server.cpp.o.d"
+  "CMakeFiles/d2dhb_net.dir/src/message.cpp.o"
+  "CMakeFiles/d2dhb_net.dir/src/message.cpp.o.d"
+  "libd2dhb_net.a"
+  "libd2dhb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/src/base_station.cpp" "src/radio/CMakeFiles/d2dhb_radio.dir/src/base_station.cpp.o" "gcc" "src/radio/CMakeFiles/d2dhb_radio.dir/src/base_station.cpp.o.d"
+  "/root/repo/src/radio/src/capture.cpp" "src/radio/CMakeFiles/d2dhb_radio.dir/src/capture.cpp.o" "gcc" "src/radio/CMakeFiles/d2dhb_radio.dir/src/capture.cpp.o.d"
+  "/root/repo/src/radio/src/cellular_modem.cpp" "src/radio/CMakeFiles/d2dhb_radio.dir/src/cellular_modem.cpp.o" "gcc" "src/radio/CMakeFiles/d2dhb_radio.dir/src/cellular_modem.cpp.o.d"
+  "/root/repo/src/radio/src/rrc_profile.cpp" "src/radio/CMakeFiles/d2dhb_radio.dir/src/rrc_profile.cpp.o" "gcc" "src/radio/CMakeFiles/d2dhb_radio.dir/src/rrc_profile.cpp.o.d"
+  "/root/repo/src/radio/src/signaling.cpp" "src/radio/CMakeFiles/d2dhb_radio.dir/src/signaling.cpp.o" "gcc" "src/radio/CMakeFiles/d2dhb_radio.dir/src/signaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

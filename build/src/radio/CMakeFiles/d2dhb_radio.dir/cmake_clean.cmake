@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_radio.dir/src/base_station.cpp.o"
+  "CMakeFiles/d2dhb_radio.dir/src/base_station.cpp.o.d"
+  "CMakeFiles/d2dhb_radio.dir/src/capture.cpp.o"
+  "CMakeFiles/d2dhb_radio.dir/src/capture.cpp.o.d"
+  "CMakeFiles/d2dhb_radio.dir/src/cellular_modem.cpp.o"
+  "CMakeFiles/d2dhb_radio.dir/src/cellular_modem.cpp.o.d"
+  "CMakeFiles/d2dhb_radio.dir/src/rrc_profile.cpp.o"
+  "CMakeFiles/d2dhb_radio.dir/src/rrc_profile.cpp.o.d"
+  "CMakeFiles/d2dhb_radio.dir/src/signaling.cpp.o"
+  "CMakeFiles/d2dhb_radio.dir/src/signaling.cpp.o.d"
+  "libd2dhb_radio.a"
+  "libd2dhb_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_scenario.dir/src/baselines.cpp.o"
+  "CMakeFiles/d2dhb_scenario.dir/src/baselines.cpp.o.d"
+  "CMakeFiles/d2dhb_scenario.dir/src/compressed_pair.cpp.o"
+  "CMakeFiles/d2dhb_scenario.dir/src/compressed_pair.cpp.o.d"
+  "CMakeFiles/d2dhb_scenario.dir/src/crowd.cpp.o"
+  "CMakeFiles/d2dhb_scenario.dir/src/crowd.cpp.o.d"
+  "CMakeFiles/d2dhb_scenario.dir/src/probes.cpp.o"
+  "CMakeFiles/d2dhb_scenario.dir/src/probes.cpp.o.d"
+  "CMakeFiles/d2dhb_scenario.dir/src/scenario.cpp.o"
+  "CMakeFiles/d2dhb_scenario.dir/src/scenario.cpp.o.d"
+  "libd2dhb_scenario.a"
+  "libd2dhb_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

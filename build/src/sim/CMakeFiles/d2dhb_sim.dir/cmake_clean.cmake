@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/d2dhb_sim.dir/src/simulator.cpp.o.d"
+  "libd2dhb_sim.a"
+  "libd2dhb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

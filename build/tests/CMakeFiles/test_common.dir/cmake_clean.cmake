@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_result.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_result.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_tracelog.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_tracelog.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analysis.cpp" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_baseline_agent.cpp" "tests/CMakeFiles/test_core.dir/core/test_baseline_agent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baseline_agent.cpp.o.d"
+  "/root/repo/tests/core/test_battery_relay.cpp" "tests/CMakeFiles/test_core.dir/core/test_battery_relay.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_battery_relay.cpp.o.d"
+  "/root/repo/tests/core/test_detector.cpp" "tests/CMakeFiles/test_core.dir/core/test_detector.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_detector.cpp.o.d"
+  "/root/repo/tests/core/test_feedback.cpp" "tests/CMakeFiles/test_core.dir/core/test_feedback.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_feedback.cpp.o.d"
+  "/root/repo/tests/core/test_handover.cpp" "tests/CMakeFiles/test_core.dir/core/test_handover.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_handover.cpp.o.d"
+  "/root/repo/tests/core/test_incentive.cpp" "tests/CMakeFiles/test_core.dir/core/test_incentive.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_incentive.cpp.o.d"
+  "/root/repo/tests/core/test_message_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_message_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_message_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_multi_app.cpp" "tests/CMakeFiles/test_core.dir/core/test_multi_app.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multi_app.cpp.o.d"
+  "/root/repo/tests/core/test_operator_selection.cpp" "tests/CMakeFiles/test_core.dir/core/test_operator_selection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_operator_selection.cpp.o.d"
+  "/root/repo/tests/core/test_original_agent.cpp" "tests/CMakeFiles/test_core.dir/core/test_original_agent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_original_agent.cpp.o.d"
+  "/root/repo/tests/core/test_phone.cpp" "tests/CMakeFiles/test_core.dir/core/test_phone.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_phone.cpp.o.d"
+  "/root/repo/tests/core/test_relay_agent.cpp" "tests/CMakeFiles/test_core.dir/core/test_relay_agent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_relay_agent.cpp.o.d"
+  "/root/repo/tests/core/test_scheduler.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_ue_agent.cpp" "tests/CMakeFiles/test_core.dir/core/test_ue_agent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ue_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/d2dhb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d2dhb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/d2dhb_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/d2d/CMakeFiles/d2dhb_d2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/d2dhb_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/d2dhb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_d2d.dir/d2d/test_energy_profile.cpp.o"
+  "CMakeFiles/test_d2d.dir/d2d/test_energy_profile.cpp.o.d"
+  "CMakeFiles/test_d2d.dir/d2d/test_medium.cpp.o"
+  "CMakeFiles/test_d2d.dir/d2d/test_medium.cpp.o.d"
+  "CMakeFiles/test_d2d.dir/d2d/test_technology.cpp.o"
+  "CMakeFiles/test_d2d.dir/d2d/test_technology.cpp.o.d"
+  "CMakeFiles/test_d2d.dir/d2d/test_wifi_direct.cpp.o"
+  "CMakeFiles/test_d2d.dir/d2d/test_wifi_direct.cpp.o.d"
+  "test_d2d"
+  "test_d2d.pdb"
+  "test_d2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_d2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

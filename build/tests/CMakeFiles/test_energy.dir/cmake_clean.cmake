@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/energy/test_battery.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_battery.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_current_trace.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_current_trace.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_energy_meter.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_energy_meter.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

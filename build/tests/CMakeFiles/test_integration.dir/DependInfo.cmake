@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_analysis_vs_simulation.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_analysis_vs_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_analysis_vs_simulation.cpp.o.d"
+  "/root/repo/tests/integration/test_baseline_strategies.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_baseline_strategies.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_baseline_strategies.cpp.o.d"
+  "/root/repo/tests/integration/test_crowd.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_crowd.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_crowd.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_fuzz.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o.d"
+  "/root/repo/tests/integration/test_headline_claims.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_headline_claims.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_headline_claims.cpp.o.d"
+  "/root/repo/tests/integration/test_multicell.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_multicell.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_multicell.cpp.o.d"
+  "/root/repo/tests/integration/test_pair_system.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_pair_system.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_pair_system.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_scenario_harness.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_scenario_harness.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_scenario_harness.cpp.o.d"
+  "/root/repo/tests/integration/test_technology_sweep.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_technology_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_technology_sweep.cpp.o.d"
+  "/root/repo/tests/integration/test_trace_integration.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_trace_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_trace_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/d2dhb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/d2dhb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/d2dhb_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/d2d/CMakeFiles/d2dhb_d2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/d2dhb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/d2dhb_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/d2dhb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2dhb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2dhb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/d2dhb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

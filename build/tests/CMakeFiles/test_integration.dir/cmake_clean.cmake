@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_analysis_vs_simulation.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_analysis_vs_simulation.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_baseline_strategies.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_baseline_strategies.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_crowd.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_crowd.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_headline_claims.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_headline_claims.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_multicell.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_multicell.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_pair_system.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_pair_system.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_scenario_harness.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_scenario_harness.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_technology_sweep.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_technology_sweep.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_trace_integration.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_trace_integration.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

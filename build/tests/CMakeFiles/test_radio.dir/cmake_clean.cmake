@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/test_base_station.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_base_station.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_capture.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_capture.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_rrc.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_rrc.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_signaling.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_signaling.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

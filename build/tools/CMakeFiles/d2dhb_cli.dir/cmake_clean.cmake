@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2dhb_cli.dir/d2dhb_sim.cpp.o"
+  "CMakeFiles/d2dhb_cli.dir/d2dhb_sim.cpp.o.d"
+  "d2dhb_sim"
+  "d2dhb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2dhb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
