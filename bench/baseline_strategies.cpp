@@ -2,7 +2,8 @@
 // heartbeat-reduction strategies the paper argues against, implemented
 // and measured under identical mixed IM traffic (heartbeats + chat
 // data). The D2D framework is the only strategy that cuts signaling
-// AND energy without degrading offline detection.
+// AND energy without degrading offline detection. Each strategy arm is
+// an independent simulation, so the five run as parallel runner jobs.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -17,9 +18,22 @@ int main() {
       "period extension hurts instantaneity; piggybacking helps only "
       "when data flows; fast dormancy saves energy but aggravates "
       "signaling; D2D improves both");
+  bench::announce_threads();
 
   BaselineConfig config;
-  const auto strategies = run_all_strategies(config);
+  using StrategyFn = StrategyMetrics (*)(const BaselineConfig&);
+  const StrategyFn arms[] = {
+      run_baseline_original,
+      +[](const BaselineConfig& c) {
+        return run_baseline_period_extension(c, 2.0);
+      },
+      run_baseline_piggyback,
+      run_baseline_fast_dormancy,
+      run_d2d_framework_arm,
+  };
+  const runner::ExperimentRunner runner;
+  const auto strategies = runner.run_jobs(
+      std::size(arms), [&](std::size_t i) { return arms[i](config); });
   const StrategyMetrics& original = strategies.front();
 
   Table table{{"Strategy", "L3 msgs", "vs orig", "Radio uAh", "vs orig",

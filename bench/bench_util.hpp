@@ -1,13 +1,19 @@
-// Shared helpers for the reproduction benches: consistent headers and
-// paper-vs-measured annotations.
+// Shared helpers for the reproduction benches: consistent headers,
+// paper-vs-measured annotations, and the runner-backed seed/thread
+// conventions every sweep bench follows.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/parallel.hpp"
+#include "runner/sweep_runner.hpp"
 
 namespace d2dhb::bench {
 
@@ -25,6 +31,28 @@ inline std::string pct(double fraction) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
   return buf;
+}
+
+/// The bench's seed list: D2DHB_SEEDS when set ("101:5" or "1,2,9"),
+/// otherwise {first .. first+count-1}. A malformed override is a usage
+/// error, not a crash.
+inline std::vector<std::uint64_t> bench_seeds(std::uint64_t first,
+                                              std::size_t count) {
+  try {
+    return runner::seeds_from_env(runner::seed_range(first, count));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: D2DHB_SEEDS: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+/// Worker threads for this bench run (D2DHB_THREADS override, else
+/// hardware concurrency) — announced so sweep logs record how they ran.
+inline std::size_t announce_threads() {
+  const std::size_t threads = runner::default_thread_count();
+  std::cout << "(runner: " << threads << " worker thread"
+            << (threads == 1 ? "" : "s") << ")\n";
+  return threads;
 }
 
 /// Prints the table and, when the environment variable D2DHB_CSV_DIR is

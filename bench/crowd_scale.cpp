@@ -1,50 +1,101 @@
 // Deployment-scale sweep: the paper's headline numbers in the crowd
 // setting that motivates it (Section II-D), plus the synchronized
-// signaling-storm stress case.
+// signaling-storm stress case. The phone-count × seed matrix runs
+// multithreaded through SweepRunner; per-point savings are aggregated
+// across seeds (mean / spread / CI), so the headline numbers come with
+// their layout sensitivity attached.
+#include <cstddef>
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenario/crowd.hpp"
 
+namespace {
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+/// One sweep cell: both arms under the same layout seed.
+struct CrowdCell {
+  CrowdMetrics d2d;
+  CrowdMetrics orig;
+};
+
+double signaling_saved(const CrowdCell& c) {
+  return 1.0 - static_cast<double>(c.d2d.total_l3) /
+                   static_cast<double>(c.orig.total_l3);
+}
+
+double energy_saved(const CrowdCell& c) {
+  return 1.0 - c.d2d.total_radio_uah / c.orig.total_radio_uah;
+}
+
+CrowdConfig scale_point(std::size_t phones) {
+  CrowdConfig config;
+  config.phones = phones;
+  config.relay_fraction = 0.2;
+  config.area_m = 50.0 + static_cast<double>(phones);
+  config.clusters = 1 + phones / 24;
+  config.cluster_stddev_m = 7.0;
+  config.duration_s = 3600.0;
+  return config;
+}
+
+}  // namespace
+
 int main() {
-  using namespace d2dhb;
-  using namespace d2dhb::scenario;
   bench::print_header(
       "Crowd scale: signaling and energy at deployment size (1 h runs)",
       ">50% signaling reduction; energy saving grows with relay load");
+  bench::announce_threads();
 
-  Table table{{"Phones", "Relays", "Orig L3", "D2D L3", "Signaling saved",
-               "Orig radio uAh", "D2D radio uAh", "Energy saved",
-               "Fallbacks", "Offline"}};
+  runner::SweepRunner<CrowdConfig, CrowdCell> sweep(
+      [](const CrowdConfig& base, std::uint64_t seed) {
+        CrowdConfig config = base;
+        config.seed = seed;
+        return CrowdCell{run_d2d_crowd(config), run_original_crowd(config)};
+      });
   for (const std::size_t phones : {24u, 48u, 96u}) {
-    CrowdConfig config;
-    config.phones = phones;
-    config.relay_fraction = 0.2;
-    config.area_m = 50.0 + static_cast<double>(phones);
-    config.clusters = 1 + phones / 24;
-    config.cluster_stddev_m = 7.0;
-    config.duration_s = 3600.0;
-    const CrowdMetrics d2d = run_d2d_crowd(config);
-    const CrowdMetrics orig = run_original_crowd(config);
-    const double sig_saved =
-        1.0 - static_cast<double>(d2d.total_l3) /
-                  static_cast<double>(orig.total_l3);
-    const double energy_saved =
-        1.0 - d2d.total_radio_uah / orig.total_radio_uah;
-    table.add_row({std::to_string(phones), std::to_string(d2d.relays),
-                   std::to_string(orig.total_l3),
-                   std::to_string(d2d.total_l3), bench::pct(sig_saved),
-                   Table::num(orig.total_radio_uah, 0),
-                   Table::num(d2d.total_radio_uah, 0),
-                   bench::pct(energy_saved), std::to_string(d2d.fallbacks),
-                   std::to_string(d2d.server.offline_events)});
+    sweep.point(std::to_string(phones) + " phones", scale_point(phones));
   }
-  bench::emit(table, "crowd_scale");
+  sweep.seeds(bench::bench_seeds(101, 5))
+      .metric("signaling saved", signaling_saved)
+      .metric("energy saved", energy_saved)
+      .metric("D2D L3 msgs",
+              [](const CrowdCell& c) {
+                return static_cast<double>(c.d2d.total_l3);
+              })
+      .metric("fallbacks",
+              [](const CrowdCell& c) {
+                return static_cast<double>(c.d2d.fallbacks);
+              })
+      .metric("offline events", [](const CrowdCell& c) {
+        return static_cast<double>(c.d2d.server.offline_events);
+      });
+  const auto result = sweep.run();
+  bench::emit(result.table(), "crowd_scale");
+
+  // Per-point detail for the first seed — the paper-style absolute rows.
+  Table detail{{"Phones", "Relays", "Orig L3", "D2D L3", "Signaling saved",
+                "Orig radio uAh", "D2D radio uAh", "Energy saved",
+                "Fallbacks", "Offline"}};
+  for (std::size_t p = 0; p < result.cells.size(); ++p) {
+    const CrowdCell& cell = result.cells[p].front();
+    detail.add_row({result.point_labels[p], std::to_string(cell.d2d.relays),
+                    std::to_string(cell.orig.total_l3),
+                    std::to_string(cell.d2d.total_l3),
+                    bench::pct(signaling_saved(cell)),
+                    Table::num(cell.orig.total_radio_uah, 0),
+                    Table::num(cell.d2d.total_radio_uah, 0),
+                    bench::pct(energy_saved(cell)),
+                    std::to_string(cell.d2d.fallbacks),
+                    std::to_string(cell.d2d.server.offline_events)});
+  }
+  std::cout << "\nFirst-seed detail:\n";
+  bench::emit(detail, "crowd_scale_detail");
 
   std::cout << "\nSynchronized storm (all first beats within ~3 s):\n";
-  Table storm{{"System", "Peak L3 / 10 s", "Total L3"}};
   CrowdConfig sync;
   sync.phones = 48;
   sync.relay_fraction = 0.2;
@@ -52,40 +103,17 @@ int main() {
   sync.clusters = 2;
   sync.duration_s = 1800.0;
   sync.stagger_fraction = 0.01;
-  const CrowdMetrics sd2d = run_d2d_crowd(sync);
-  const CrowdMetrics sorig = run_original_crowd(sync);
-  storm.add_row({"original", std::to_string(sorig.peak_l3_per_10s),
-                 std::to_string(sorig.total_l3)});
-  storm.add_row({"D2D framework", std::to_string(sd2d.peak_l3_per_10s),
-                 std::to_string(sd2d.total_l3)});
+  // Both arms are independent simulations — run them as parallel jobs.
+  const runner::ExperimentRunner arms;
+  const auto storm_cells = arms.run_jobs(2, [&](std::size_t arm) {
+    return arm == 0 ? run_original_crowd(sync) : run_d2d_crowd(sync);
+  });
+  Table storm{{"System", "Peak L3 / 10 s", "Total L3"}};
+  storm.add_row({"original", std::to_string(storm_cells[0].peak_l3_per_10s),
+                 std::to_string(storm_cells[0].total_l3)});
+  storm.add_row({"D2D framework",
+                 std::to_string(storm_cells[1].peak_l3_per_10s),
+                 std::to_string(storm_cells[1].total_l3)});
   storm.print(std::cout);
-
-  // Seed sensitivity: the savings are a property of the design, not of
-  // one lucky layout.
-  std::cout << "\nSeed sweep (48 phones, 5 layouts):\n";
-  RunningStats sig_stats, energy_stats;
-  for (std::uint64_t seed = 101; seed <= 105; ++seed) {
-    CrowdConfig config;
-    config.phones = 48;
-    config.relay_fraction = 0.2;
-    config.area_m = 98.0;
-    config.clusters = 3;
-    config.duration_s = 3600.0;
-    config.seed = seed;
-    const CrowdMetrics d2d = run_d2d_crowd(config);
-    const CrowdMetrics orig = run_original_crowd(config);
-    sig_stats.add(1.0 - static_cast<double>(d2d.total_l3) /
-                            static_cast<double>(orig.total_l3));
-    energy_stats.add(1.0 - d2d.total_radio_uah / orig.total_radio_uah);
-  }
-  Table sweep{{"Metric", "Mean", "Stddev", "Min", "Max"}};
-  sweep.add_row({"Signaling saved", bench::pct(sig_stats.mean()),
-                 bench::pct(sig_stats.stddev()), bench::pct(sig_stats.min()),
-                 bench::pct(sig_stats.max())});
-  sweep.add_row({"Energy saved", bench::pct(energy_stats.mean()),
-                 bench::pct(energy_stats.stddev()),
-                 bench::pct(energy_stats.min()),
-                 bench::pct(energy_stats.max())});
-  bench::emit(sweep, "crowd_scale_seed_sweep");
   return 0;
 }

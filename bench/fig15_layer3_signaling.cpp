@@ -2,47 +2,68 @@
 // system vs the relay with 1 or 2 connected UEs. The relay's signaling
 // tracks the original single phone (aggregation hides the UEs), so the
 // system-wide traffic halves with one UE; bigger aggregates cost a
-// slightly higher per-cycle count (radio-bearer reconfiguration).
+// slightly higher per-cycle count (radio-bearer reconfiguration). Each
+// transmission-count point is an independent parallel job.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "scenario/compressed_pair.hpp"
 
+namespace {
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+/// All four arms of one transmission-count point.
+struct Fig15Cell {
+  PairMetrics d2d_1ue, orig_1ue, d2d_2ue, orig_2ue;
+};
+
+}  // namespace
+
 int main() {
-  using namespace d2dhb;
-  using namespace d2dhb::scenario;
   bench::print_header(
       "Fig. 15: layer-3 message consumption vs transmission times",
       "relay's L3 ~= original single phone; relay with 2 UEs slightly "
       "more; UEs contribute zero -> >50% system-wide saving");
+
+  runner::SweepRunner<CompressedPairConfig, Fig15Cell> sweep(
+      [](const CompressedPairConfig& base, std::uint64_t seed) {
+        CompressedPairConfig one = base;
+        one.seed = seed;
+        CompressedPairConfig two = one;
+        two.num_ues = 2;
+        return Fig15Cell{run_d2d_pair(one), run_original_pair(one),
+                         run_d2d_pair(two), run_original_pair(two)};
+      });
+  for (std::size_t k = 1; k <= 10; ++k) {
+    CompressedPairConfig config;
+    config.transmissions = k;
+    sweep.point(std::to_string(k), config);
+  }
+  const auto result = sweep.seeds({1}).run();
 
   Table table{{"Tx", "Original (1 phone)", "Relay w/1 UE", "Relay w/2 UEs",
                "System saving w/1 UE", "System saving w/2 UEs"}};
   Series orig{"Original system", {}, {}};
   Series relay1{"Relay with 1 UE", {}, {}};
   Series relay2{"Relay with 2 UEs", {}, {}};
-  for (std::size_t k = 1; k <= 10; ++k) {
-    CompressedPairConfig one;
-    one.transmissions = k;
-    const PairMetrics d1 = run_d2d_pair(one);
-    const PairMetrics o1 = run_original_pair(one);
-    CompressedPairConfig two = one;
-    two.num_ues = 2;
-    const PairMetrics d2 = run_d2d_pair(two);
-    const PairMetrics o2 = run_original_pair(two);
-    const double x = static_cast<double>(k);
+  for (std::size_t p = 0; p < result.cells.size(); ++p) {
+    const Fig15Cell& cell = result.cells[p].front();
+    const double x = static_cast<double>(p + 1);
     orig.xs.push_back(x);
-    orig.ys.push_back(static_cast<double>(o1.relay_l3));
+    orig.ys.push_back(static_cast<double>(cell.orig_1ue.relay_l3));
     relay1.xs.push_back(x);
-    relay1.ys.push_back(static_cast<double>(d1.relay_l3));
+    relay1.ys.push_back(static_cast<double>(cell.d2d_1ue.relay_l3));
     relay2.xs.push_back(x);
-    relay2.ys.push_back(static_cast<double>(d2.relay_l3));
+    relay2.ys.push_back(static_cast<double>(cell.d2d_2ue.relay_l3));
     table.add_row(
-        {std::to_string(k), std::to_string(o1.relay_l3),
-         std::to_string(d1.relay_l3), std::to_string(d2.relay_l3),
-         bench::pct(compare(o1, d1).signaling_fraction),
-         bench::pct(compare(o2, d2).signaling_fraction)});
+        {result.point_labels[p], std::to_string(cell.orig_1ue.relay_l3),
+         std::to_string(cell.d2d_1ue.relay_l3),
+         std::to_string(cell.d2d_2ue.relay_l3),
+         bench::pct(compare(cell.orig_1ue, cell.d2d_1ue).signaling_fraction),
+         bench::pct(compare(cell.orig_2ue, cell.d2d_2ue).signaling_fraction)});
   }
   bench::emit(table, "fig15_layer3_signaling");
 

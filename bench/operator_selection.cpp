@@ -1,8 +1,12 @@
 // Operator relay-selection policies at crowd scale: given the same
 // relay budget (20 % of phones), does it matter WHICH phones the
 // operator drafts? Greedy max-coverage selection vs density-ranked vs
-// random vs the naive first-N layout.
+// random vs the naive first-N layout. The original-system arm and the
+// four policy arms are five independent simulations, dispatched as
+// parallel runner jobs.
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -17,6 +21,7 @@ int main() {
       "\"mobile operators could select relays among the participating "
       "smartphone users\" — selection quality drives coverage and "
       "signaling savings");
+  bench::announce_threads();
 
   auto base = [] {
     CrowdConfig config;
@@ -29,41 +34,47 @@ int main() {
     return config;
   };
 
-  const CrowdMetrics orig = run_original_crowd(base());
+  struct Arm {
+    const char* name;
+    std::optional<core::SelectionPolicy> policy;  // nullopt = first-N layout
+    bool has_coverage;
+  };
+  const std::vector<Arm> arms = {
+      {"first N phones", std::nullopt, false},
+      {"operator: random", core::SelectionPolicy::random, true},
+      {"operator: density", core::SelectionPolicy::density, true},
+      {"operator: coverage-greedy", core::SelectionPolicy::coverage_greedy,
+       true},
+  };
+
+  // Job 0 is the original-system reference; jobs 1..N are the policies.
+  const runner::ExperimentRunner runner;
+  const auto cells =
+      runner.run_jobs(arms.size() + 1, [&](std::size_t i) -> CrowdMetrics {
+        if (i == 0) return run_original_crowd(base());
+        CrowdConfig config = base();
+        config.operator_policy = arms[i - 1].policy;
+        return run_d2d_crowd(config);
+      });
+  const CrowdMetrics& orig = cells.front();
 
   Table table{{"Policy", "Coverage", "D2D share", "Signaling saved",
                "Energy saved", "Fallbacks"}};
-  auto add_row = [&](const std::string& name, const CrowdMetrics& m,
-                     bool has_coverage) {
-    const double sig =
-        1.0 - static_cast<double>(m.total_l3) /
-                  static_cast<double>(orig.total_l3);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const CrowdMetrics& m = cells[i + 1];
+    const double sig = 1.0 - static_cast<double>(m.total_l3) /
+                                 static_cast<double>(orig.total_l3);
     const double energy = 1.0 - m.total_radio_uah / orig.total_radio_uah;
     const double share =
         m.heartbeats_emitted == 0
             ? 0.0
             : static_cast<double>(m.forwarded_via_d2d) /
                   static_cast<double>(m.heartbeats_emitted);
-    table.add_row({name,
-                   has_coverage ? bench::pct(m.relay_coverage)
-                                : std::string("-"),
+    table.add_row({arms[i].name,
+                   arms[i].has_coverage ? bench::pct(m.relay_coverage)
+                                        : std::string("-"),
                    bench::pct(share), bench::pct(sig), bench::pct(energy),
                    std::to_string(m.fallbacks)});
-  };
-
-  {
-    CrowdConfig config = base();  // first-N layout
-    add_row("first N phones", run_d2d_crowd(config), false);
-  }
-  const std::pair<const char*, core::SelectionPolicy> policies[] = {
-      {"operator: random", core::SelectionPolicy::random},
-      {"operator: density", core::SelectionPolicy::density},
-      {"operator: coverage-greedy", core::SelectionPolicy::coverage_greedy},
-  };
-  for (const auto& [name, policy] : policies) {
-    CrowdConfig config = base();
-    config.operator_policy = policy;
-    add_row(name, run_d2d_crowd(config), true);
   }
   bench::emit(table, "operator_selection");
 

@@ -1,7 +1,25 @@
 // Runtime microbenchmarks (google-benchmark) of the simulation substrate
 // and the full experiment pipeline — how fast the reproduction itself
 // runs, not a paper metric.
+//
+// Also keeps the simulator kernel honest: a reference implementation of
+// the pre-refactor kernel shape (unordered_map callbacks + unordered_set
+// tombstones) is benchmarked head-to-head against sim::Simulator on a
+// schedule/cancel-heavy workload, and the events/sec for both — plus the
+// speedup — are written to BENCH_perf_kernel.json (in D2DHB_CSV_DIR when
+// set, else the working directory) so future PRs have a perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/scheduler.hpp"
 #include "scenario/compressed_pair.hpp"
@@ -11,6 +29,109 @@
 namespace {
 
 using namespace d2dhb;
+
+// ---------------------------------------------------------------------------
+// Reference kernel: the pre-refactor shape. Every schedule/cancel/step
+// hashes into an unordered_map of callbacks and an unordered_set of
+// cancelled ids. Kept here (not in src/) purely as the perf baseline.
+// ---------------------------------------------------------------------------
+class HashKernel {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule_after(Duration delay, Callback fn) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(Scheduled{now_ + delay, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const Scheduled top = heap_.top();
+      heap_.pop();
+      const auto cancelled_it = cancelled_.find(top.id);
+      if (cancelled_it != cancelled_.end()) {
+        cancelled_.erase(cancelled_it);
+        continue;
+      }
+      const auto cb_it = callbacks_.find(top.id);
+      Callback fn = std::move(cb_it->second);
+      callbacks_.erase(cb_it);
+      now_ = top.when;
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// The schedule/cancel-heavy workload: the feedback-timer pattern every
+// UE agent drives at crowd scale. A large standing population of armed
+// timeouts (thousands of phones each holding a feedback timer), with
+// constant churn — cancel an armed timer (the ack arrived), arm a
+// replacement, occasionally let one fire.
+template <typename Kernel>
+std::uint64_t schedule_cancel_heavy(int rounds) {
+  constexpr std::size_t kPending = 4096;
+  Kernel kernel;
+  using Id = decltype(kernel.schedule_after(Duration{}, nullptr));
+  std::vector<Id> pending(kPending);
+  for (std::size_t i = 0; i < kPending; ++i) {
+    pending[i] =
+        kernel.schedule_after(microseconds(static_cast<std::int64_t>(
+                                  (i * 131) % 997 + 1000)), [] {});
+  }
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // xorshift64 churn pattern
+  for (int r = 0; r < rounds; ++r) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Id& slot = pending[x % kPending];
+    kernel.cancel(slot);
+    slot = kernel.schedule_after(
+        microseconds(static_cast<std::int64_t>(x % 997 + 1000)), [] {});
+    if ((r & 3) == 0) kernel.step();
+  }
+  kernel.run();
+  return kernel.executed_events();
+}
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   const auto events = static_cast<int>(state.range(0));
@@ -25,6 +146,24 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ScheduleCancelHeavyNew(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_cancel_heavy<sim::Simulator>(rounds));
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_ScheduleCancelHeavyNew)->Arg(10000)->Arg(100000);
+
+void BM_ScheduleCancelHeavyOldShape(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_cancel_heavy<HashKernel>(rounds));
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_ScheduleCancelHeavyOldShape)->Arg(10000)->Arg(100000);
 
 void BM_SchedulerCollectFlush(benchmark::State& state) {
   for (auto _ : state) {
@@ -75,4 +214,73 @@ void BM_CrowdHourSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_CrowdHourSimulated)->Arg(24)->Arg(96)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Machine-readable kernel comparison.
+// ---------------------------------------------------------------------------
+
+/// Times `fn` repeatedly (at least min_seconds of accumulated runtime)
+/// and returns processed events per wall-clock second.
+template <typename Fn>
+double measure_events_per_sec(Fn&& fn, double min_seconds = 0.5) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass (page in, size the heap).
+  std::uint64_t events = fn();
+  double elapsed = 0.0;
+  std::uint64_t total_events = 0;
+  while (elapsed < min_seconds) {
+    const auto t0 = clock::now();
+    events = fn();
+    const auto t1 = clock::now();
+    elapsed += std::chrono::duration<double>(t1 - t0).count();
+    total_events += events;
+  }
+  return static_cast<double>(total_events) / elapsed;
+}
+
+void write_kernel_json() {
+  constexpr int kRounds = 200000;
+  // Ops per pass: the initial 4096 schedules, one cancel + one schedule
+  // per round, plus every event that actually fired.
+  auto ops = [](std::uint64_t fired) {
+    return 4096 + 2 * static_cast<std::uint64_t>(kRounds) + fired;
+  };
+  const double new_eps = measure_events_per_sec(
+      [&] { return ops(schedule_cancel_heavy<sim::Simulator>(kRounds)); });
+  const double old_eps = measure_events_per_sec(
+      [&] { return ops(schedule_cancel_heavy<HashKernel>(kRounds)); });
+  const double speedup = old_eps == 0.0 ? 0.0 : new_eps / old_eps;
+
+  std::string path = "BENCH_perf_kernel.json";
+  if (const char* dir = std::getenv("D2DHB_CSV_DIR")) {
+    if (*dir != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  out << "{\n"
+      << "  \"workload\": \"schedule_cancel_heavy\",\n"
+      << "  \"rounds\": " << kRounds << ",\n"
+      << "  \"pending_population\": 4096,\n"
+      << "  \"ops_per_round\": 2,\n"
+      << "  \"new_kernel_events_per_sec\": " << new_eps << ",\n"
+      << "  \"old_shape_events_per_sec\": " << old_eps << ",\n"
+      << "  \"speedup\": " << speedup << "\n"
+      << "}\n";
+  std::cout << "\nKernel comparison (schedule/cancel-heavy): new "
+            << static_cast<std::uint64_t>(new_eps) << " ev/s vs old shape "
+            << static_cast<std::uint64_t>(old_eps) << " ev/s -> "
+            << speedup << "x\n(json written to " << path << ")\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_kernel_json();
+  return 0;
+}

@@ -1,9 +1,13 @@
 // Stress: the stadium exodus. Thirty static minutes of relayed
 // heartbeats, then the whole crowd walks out at once — every D2D link
 // breaks within minutes. The framework must degrade gracefully: mass
-// fallback to cellular, zero offline events.
+// fallback to cellular, zero offline events. Runs one independent
+// simulation per layout seed through ExperimentRunner and aggregates
+// the per-phase counters across seeds.
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -11,16 +15,23 @@
 #include "core/ue_agent.hpp"
 #include "scenario/scenario.hpp"
 
+namespace {
+
 using namespace d2dhb;
 using namespace d2dhb::scenario;
 
-int main() {
-  bench::print_header(
-      "Stress: stadium exodus (36 phones, 30 min static + mass walk-out)",
-      "mobility breaks every D2D link; the feedback/fallback path keeps "
-      "every session alive");
+struct ExodusMetrics {
+  std::uint64_t static_d2d{0}, static_cellular{0}, static_fallbacks{0},
+      static_losses{0}, static_l3{0};
+  std::uint64_t exodus_d2d{0}, exodus_cellular{0}, exodus_fallbacks{0},
+      exodus_losses{0}, exodus_l3{0};
+  net::ImServer::Totals server;
+};
 
-  Scenario world;
+ExodusMetrics run_exodus(std::uint64_t seed) {
+  Scenario::Params params;
+  params.seed = seed;
+  Scenario world{params};
   apps::AppProfile app = apps::wechat();
   const TimePoint depart = TimePoint{} + seconds(1800);
   const mobility::Vec2 exit_gate{400.0, 400.0};
@@ -29,7 +40,6 @@ int main() {
   const auto positions = mobility::clustered_crowd(
       36, 3, {0.0, 0.0}, {80.0, 80.0}, 7.0, layout);
 
-  std::vector<core::RelayAgent*> relays;
   std::vector<core::UeAgent*> ues;
   for (std::size_t i = 0; i < positions.size(); ++i) {
     core::PhoneConfig pc;
@@ -42,7 +52,6 @@ int main() {
       rp.scheduler.max_own_delay = app.heartbeat_period;
       core::RelayAgent& relay = world.add_relay(phone, rp);
       relay.start(seconds(20.0 + 5.0 * static_cast<double>(i)));
-      relays.push_back(&relay);
     } else {
       core::UeAgent::Params up;
       up.app = app;
@@ -73,24 +82,61 @@ int main() {
   world.sim().run_until(depart + seconds(900));  // 15 min of exodus
   const auto after = snapshot();
 
-  Table table{{"Phase", "UE heartbeats via D2D", "via cellular",
+  ExodusMetrics m;
+  m.static_d2d = before.d2d;
+  m.static_cellular = before.cellular;
+  m.static_fallbacks = before.fallbacks;
+  m.static_losses = before.losses;
+  m.static_l3 = l3_before;
+  m.exodus_d2d = after.d2d - before.d2d;
+  m.exodus_cellular = after.cellular - before.cellular;
+  m.exodus_fallbacks = after.fallbacks - before.fallbacks;
+  m.exodus_losses = after.losses - before.losses;
+  m.exodus_l3 = world.total_l3() - l3_before;
+  m.server = world.server().totals();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Stress: stadium exodus (36 phones, 30 min static + mass walk-out)",
+      "mobility breaks every D2D link; the feedback/fallback path keeps "
+      "every session alive");
+  bench::announce_threads();
+
+  const std::vector<std::uint64_t> seeds = bench::bench_seeds(42, 3);
+  const runner::ExperimentRunner runner;
+  const std::vector<ExodusMetrics> runs = runner.run(seeds, run_exodus);
+
+  Table table{{"Seed", "Phase", "UE heartbeats via D2D", "via cellular",
                "Fallbacks", "Link losses", "L3 messages"}};
-  table.add_row({"static 30 min", std::to_string(before.d2d),
-                 std::to_string(before.cellular),
-                 std::to_string(before.fallbacks),
-                 std::to_string(before.losses), std::to_string(l3_before)});
-  table.add_row({"exodus 15 min", std::to_string(after.d2d - before.d2d),
-                 std::to_string(after.cellular - before.cellular),
-                 std::to_string(after.fallbacks - before.fallbacks),
-                 std::to_string(after.losses - before.losses),
-                 std::to_string(world.total_l3() - l3_before)});
+  std::uint64_t offline_total = 0, delivered_total = 0, late_total = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ExodusMetrics& m = runs[i];
+    const std::string seed = std::to_string(seeds[i]);
+    table.add_row({seed, "static 30 min", std::to_string(m.static_d2d),
+                   std::to_string(m.static_cellular),
+                   std::to_string(m.static_fallbacks),
+                   std::to_string(m.static_losses),
+                   std::to_string(m.static_l3)});
+    table.add_row({seed, "exodus 15 min", std::to_string(m.exodus_d2d),
+                   std::to_string(m.exodus_cellular),
+                   std::to_string(m.exodus_fallbacks),
+                   std::to_string(m.exodus_losses),
+                   std::to_string(m.exodus_l3)});
+    offline_total += m.server.offline_events;
+    delivered_total += m.server.delivered;
+    late_total += m.server.late;
+  }
   bench::emit(table, "stress_exodus");
 
-  const auto totals = world.server().totals();
-  std::cout << "\nDelivery through the exodus: " << totals.delivered
-            << " heartbeats, " << totals.late << " late, "
-            << totals.offline_events << " offline events.\n"
+  std::cout << "\nDelivery through the exodus (" << runs.size()
+            << " layouts): " << delivered_total << " heartbeats, "
+            << late_total << " late, " << offline_total
+            << " offline events.\n"
             << "Every walking phone fell back to direct cellular the "
                "moment its D2D link died;\nnobody's IM session dropped.\n";
-  return totals.offline_events == 0 ? 0 : 1;
+  return offline_total == 0 ? 0 : 1;
 }

@@ -1,0 +1,41 @@
+// Per-metric aggregation across seeds: the summary statistics every
+// sweep table reports for each (point, metric) pair.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace d2dhb {
+class Table;
+}
+
+namespace d2dhb::runner {
+
+/// Summary of one metric's samples across seeds. ci95_half is the
+/// half-width of the normal-approximation 95 % confidence interval of
+/// the mean (1.96 · stddev / sqrt(n)); zero when n < 2.
+struct Aggregate {
+  std::size_t n{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double max{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double ci95_half{0.0};
+};
+
+Aggregate summarize(const std::vector<double>& samples);
+
+/// Builds the standard long-format sweep table: one row per
+/// (point, metric), columns Point | Metric | N | Mean | Stddev | Min |
+/// Max | P50 | P95 | CI95±. `samples[point][metric]` holds the per-seed
+/// values; the two label vectors give row/metric names in order.
+Table sweep_table(
+    const std::vector<std::string>& point_labels,
+    const std::vector<std::string>& metric_names,
+    const std::vector<std::vector<std::vector<double>>>& samples,
+    int decimals = 3);
+
+}  // namespace d2dhb::runner

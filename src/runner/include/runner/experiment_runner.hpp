@@ -1,0 +1,42 @@
+// ExperimentRunner: many independent seeded runs of one experiment,
+// executed in parallel with results in seed order. The thin end of the
+// runner API — SweepRunner builds the full (point × seed) matrix on top.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "runner/parallel.hpp"
+
+namespace d2dhb::runner {
+
+class ExperimentRunner {
+ public:
+  /// threads == 0 defers to default_thread_count() (D2DHB_THREADS env
+  /// override, then hardware concurrency).
+  explicit ExperimentRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  std::size_t threads() const { return threads_; }
+
+  /// Runs fn(seed) for every seed, in parallel; results in seed order.
+  template <typename Fn>
+  auto run(const std::vector<std::uint64_t>& seeds, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::uint64_t>> {
+    return parallel_index_map(
+        seeds.size(), [&](std::size_t i) { return fn(seeds[i]); }, threads_);
+  }
+
+  /// Runs count independent jobs fn(index); results in index order.
+  /// For heterogeneous cells (e.g. one job per strategy or per arm).
+  template <typename Fn>
+  auto run_jobs(std::size_t count, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    return parallel_index_map(count, std::forward<Fn>(fn), threads_);
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace d2dhb::runner

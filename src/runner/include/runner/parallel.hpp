@@ -1,0 +1,85 @@
+// Parallel execution primitive for embarrassingly parallel experiment
+// matrices. Each job is an independent, self-contained deterministic
+// simulation (one sim::Simulator per job), so the only shared state is
+// the work counter and the result slots — results come back in index
+// order regardless of which worker ran what, keeping aggregated output
+// byte-identical across thread counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace d2dhb::runner {
+
+/// Worker count used when a caller passes 0: the D2DHB_THREADS
+/// environment variable when set (>= 1), otherwise hardware concurrency.
+std::size_t default_thread_count();
+
+/// {first, first+1, ..., first+count-1}.
+std::vector<std::uint64_t> seed_range(std::uint64_t first, std::size_t count);
+
+/// Parses "101:5" (start:count) or "1,2,9" (explicit list) into seeds.
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint64_t> parse_seed_list(const std::string& spec);
+
+/// The D2DHB_SEEDS environment variable (same syntax as
+/// parse_seed_list) when set, otherwise `fallback`.
+std::vector<std::uint64_t> seeds_from_env(std::vector<std::uint64_t> fallback);
+
+/// Runs job(0) ... job(count-1) on up to `threads` worker threads
+/// (0 = default_thread_count()) and returns the results in index order.
+/// If any job throws, the exception with the lowest index is rethrown
+/// after all workers have stopped; no further jobs are started once a
+/// failure is seen.
+template <typename Fn>
+auto parallel_index_map(std::size_t count, Fn&& job, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_void_v<R>,
+                "parallel_index_map jobs must return a value");
+  if (threads == 0) threads = default_thread_count();
+  if (count < threads) threads = count == 0 ? 1 : count;
+
+  std::vector<std::optional<R>> slots(count);
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        slots[i].emplace(job(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  std::vector<R> out;
+  out.reserve(count);
+  for (std::optional<R>& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace d2dhb::runner

@@ -1,0 +1,131 @@
+// SweepRunner: the run-matrix owner. A sweep is a list of named
+// parameter points × a seed list; every (point, seed) cell runs one
+// independent simulation on the worker pool, and declared metrics are
+// aggregated across seeds into the standard sweep table.
+//
+// Determinism contract: each cell is a pure function of (config, seed),
+// cells land in fixed (point-major, seed-minor) order, and aggregation
+// walks them in that order — so the aggregated table is byte-identical
+// for any thread count.
+//
+//   runner::SweepRunner<CrowdConfig, CrowdMetrics> sweep(
+//       [](const CrowdConfig& c, std::uint64_t seed) {
+//         CrowdConfig cfg = c;
+//         cfg.seed = seed;
+//         return run_d2d_crowd(cfg);
+//       });
+//   sweep.point("24 phones", small).point("96 phones", big)
+//        .seeds(runner::seed_range(101, 5))
+//        .metric("total L3", [](const CrowdMetrics& m) {
+//          return static_cast<double>(m.total_l3);
+//        });
+//   auto result = sweep.run();
+//   result.table().print(std::cout);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/aggregate.hpp"
+#include "runner/parallel.hpp"
+
+namespace d2dhb::runner {
+
+template <typename Config, typename Metrics>
+class SweepRunner {
+ public:
+  using RunFn = std::function<Metrics(const Config&, std::uint64_t seed)>;
+  using ExtractFn = std::function<double(const Metrics&)>;
+
+  struct Result {
+    std::vector<std::string> point_labels;
+    std::vector<std::string> metric_names;
+    /// cells[point][seed_index] — every raw per-run metrics struct.
+    std::vector<std::vector<Metrics>> cells;
+    /// samples[point][metric][seed_index] — extracted metric values.
+    std::vector<std::vector<std::vector<double>>> samples;
+
+    Aggregate aggregate(std::size_t point, std::size_t metric) const {
+      return summarize(samples.at(point).at(metric));
+    }
+    /// The standard long-format aggregation table (see sweep_table()).
+    Table table(int decimals = 3) const {
+      return sweep_table(point_labels, metric_names, samples, decimals);
+    }
+  };
+
+  explicit SweepRunner(RunFn run) : run_(std::move(run)) {}
+
+  SweepRunner& point(std::string label, Config config) {
+    labels_.push_back(std::move(label));
+    configs_.push_back(std::move(config));
+    return *this;
+  }
+  SweepRunner& seeds(std::vector<std::uint64_t> s) {
+    seeds_ = std::move(s);
+    return *this;
+  }
+  SweepRunner& threads(std::size_t t) {
+    threads_ = t;
+    return *this;
+  }
+  SweepRunner& metric(std::string name, ExtractFn extract) {
+    metric_names_.push_back(std::move(name));
+    extractors_.push_back(std::move(extract));
+    return *this;
+  }
+
+  std::size_t points() const { return configs_.size(); }
+  const std::vector<std::uint64_t>& seed_list() const { return seeds_; }
+
+  Result run() const {
+    if (configs_.empty()) {
+      throw std::logic_error("SweepRunner: no sweep points declared");
+    }
+    if (seeds_.empty()) {
+      throw std::logic_error("SweepRunner: empty seed list");
+    }
+    const std::size_t n_seeds = seeds_.size();
+    std::vector<Metrics> flat = parallel_index_map(
+        configs_.size() * n_seeds,
+        [&](std::size_t i) {
+          return run_(configs_[i / n_seeds], seeds_[i % n_seeds]);
+        },
+        threads_);
+
+    Result result;
+    result.point_labels = labels_;
+    result.metric_names = metric_names_;
+    result.cells.resize(configs_.size());
+    result.samples.resize(configs_.size());
+    for (std::size_t p = 0; p < configs_.size(); ++p) {
+      auto first = std::make_move_iterator(flat.begin() +
+                                           static_cast<std::ptrdiff_t>(p * n_seeds));
+      result.cells[p].assign(first, first + static_cast<std::ptrdiff_t>(n_seeds));
+      result.samples[p].resize(metric_names_.size());
+      for (std::size_t m = 0; m < metric_names_.size(); ++m) {
+        result.samples[p][m].reserve(n_seeds);
+        for (const Metrics& cell : result.cells[p]) {
+          result.samples[p][m].push_back(extractors_[m](cell));
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  RunFn run_;
+  std::vector<std::string> labels_;
+  std::vector<Config> configs_;
+  std::vector<std::uint64_t> seeds_{1};
+  std::vector<std::string> metric_names_;
+  std::vector<ExtractFn> extractors_;
+  std::size_t threads_{0};
+};
+
+}  // namespace d2dhb::runner

@@ -1,0 +1,118 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "runner/aggregate.hpp"
+#include "runner/parallel.hpp"
+
+namespace d2dhb::runner {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("D2DHB_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<std::uint64_t> seed_range(std::uint64_t first, std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(first + i);
+  return seeds;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(token, &used);
+    if (used != token.size()) throw std::invalid_argument("trailing junk");
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad seed token '" + token +
+                                "' (expected \"start:count\" or \"a,b,c\")");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("empty seed spec");
+  }
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    const std::uint64_t first = parse_u64(spec.substr(0, colon));
+    const std::uint64_t count = parse_u64(spec.substr(colon + 1));
+    if (count == 0) throw std::invalid_argument("seed count must be >= 1");
+    return seed_range(first, static_cast<std::size_t>(count));
+  }
+  std::vector<std::uint64_t> seeds;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    seeds.push_back(parse_u64(spec.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return seeds;
+}
+
+std::vector<std::uint64_t> seeds_from_env(
+    std::vector<std::uint64_t> fallback) {
+  if (const char* env = std::getenv("D2DHB_SEEDS")) {
+    if (*env != '\0') return parse_seed_list(env);
+  }
+  return fallback;
+}
+
+Aggregate summarize(const std::vector<double>& samples) {
+  Aggregate a;
+  if (samples.empty()) return a;
+  RunningStats stats;
+  for (const double x : samples) stats.add(x);
+  a.n = stats.count();
+  a.mean = stats.mean();
+  a.stddev = stats.stddev();
+  a.min = stats.min();
+  a.max = stats.max();
+  a.p50 = percentile(samples, 50.0);
+  a.p95 = percentile(samples, 95.0);
+  if (a.n >= 2) {
+    a.ci95_half = 1.96 * a.stddev / std::sqrt(static_cast<double>(a.n));
+  }
+  return a;
+}
+
+Table sweep_table(
+    const std::vector<std::string>& point_labels,
+    const std::vector<std::string>& metric_names,
+    const std::vector<std::vector<std::vector<double>>>& samples,
+    int decimals) {
+  Table table{{"Point", "Metric", "N", "Mean", "Stddev", "Min", "Max", "P50",
+               "P95", "CI95+/-"}};
+  for (std::size_t p = 0; p < point_labels.size(); ++p) {
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      const Aggregate a = summarize(samples.at(p).at(m));
+      table.add_row({point_labels[p], metric_names[m], std::to_string(a.n),
+                     Table::num(a.mean, decimals), Table::num(a.stddev, decimals),
+                     Table::num(a.min, decimals), Table::num(a.max, decimals),
+                     Table::num(a.p50, decimals), Table::num(a.p95, decimals),
+                     Table::num(a.ci95_half, decimals)});
+    }
+  }
+  return table;
+}
+
+}  // namespace d2dhb::runner

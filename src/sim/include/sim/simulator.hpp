@@ -3,20 +3,28 @@
 // A single-threaded event loop over simulated time. Events scheduled for
 // the same instant run in scheduling order (FIFO), which keeps runs fully
 // deterministic for a fixed seed.
+//
+// Storage layout: callbacks live in a flat slot array indexed by the heap
+// entries, with a per-slot generation counter detecting stale handles.
+// Cancellation disarms the slot in O(1) and leaves the heap entry behind;
+// step() retires such tombstones lazily when they surface at the top.
+// schedule / cancel / step therefore do no hashing — this kernel is the
+// hot path of every experiment, and crowd-scale sweeps hammer it with
+// millions of schedule/cancel pairs (feedback timers, RRC timers).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace d2dhb::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes slot index (low 32
+/// bits) and slot generation (high 32 bits); generations start at 1, so
+/// a valid handle is never zero.
 struct EventId {
   std::uint64_t value{0};
   constexpr auto operator<=>(const EventId&) const = default;
@@ -56,13 +64,14 @@ class Simulator {
   void run_until(TimePoint t);
 
   std::uint64_t executed_events() const { return executed_; }
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  /// Number of live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending_events() const { return live_; }
 
  private:
   struct Scheduled {
     TimePoint when;
-    std::uint64_t seq;  ///< Tie-breaker: FIFO within the same instant.
-    std::uint64_t id;
+    std::uint64_t seq;   ///< Tie-breaker: FIFO within the same instant.
+    std::uint32_t slot;  ///< Index into slots_.
   };
   struct Later {
     bool operator()(const Scheduled& a, const Scheduled& b) const {
@@ -70,14 +79,25 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen{1};
+    bool armed{false};
+  };
+
+  /// Bumps the slot generation (invalidating outstanding EventIds) and
+  /// returns it to the free list. Only called once the slot's heap entry
+  /// has been popped — a slot is never recycled while an entry for it is
+  /// still in the heap, which is what makes stale-handle detection work.
+  void retire(std::uint32_t slot);
 
   TimePoint now_{};
   std::uint64_t next_seq_{0};
-  std::uint64_t next_id_{1};
   std::uint64_t executed_{0};
+  std::size_t live_{0};
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Repeating timer built on the simulator. Survives cancellation and

@@ -6,14 +6,37 @@
 
 namespace d2dhb::sim {
 
+namespace {
+constexpr std::uint64_t make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+constexpr std::uint32_t id_slot(std::uint64_t value) {
+  return static_cast<std::uint32_t>(value & 0xffffffffu);
+}
+constexpr std::uint32_t id_gen(std::uint64_t value) {
+  return static_cast<std::uint32_t>(value >> 32);
+}
+}  // namespace
+
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  const std::uint64_t id = next_id_++;
-  heap_.push(Scheduled{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventId{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  assert(!s.armed);
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push(Scheduled{t, next_seq_++, slot});
+  ++live_;
+  return EventId{make_id(slot, s.gen)};
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback fn) {
@@ -24,29 +47,41 @@ EventId Simulator::schedule_after(Duration delay, Callback fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  const std::uint32_t slot = id_slot(id.value);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != id_gen(id.value) || !s.armed) return false;
+  // Disarm and drop the callback now (releasing its captures); the heap
+  // entry stays behind as a tombstone until it reaches the top.
+  s.armed = false;
+  s.fn = nullptr;
+  --live_;
   return true;
+}
+
+void Simulator::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (++s.gen == 0) s.gen = 1;
+  free_slots_.push_back(slot);
 }
 
 bool Simulator::step() {
   while (!heap_.empty()) {
     const Scheduled top = heap_.top();
     heap_.pop();
-    const auto cancelled_it = cancelled_.find(top.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+    Slot& s = slots_[top.slot];
+    if (!s.armed) {  // Cancelled: recycle the slot, keep scanning.
+      retire(top.slot);
       continue;
     }
-    auto cb_it = callbacks_.find(top.id);
-    assert(cb_it != callbacks_.end());
-    Callback fn = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
+    Callback fn = std::move(s.fn);
+    s.fn = nullptr;
+    s.armed = false;
+    retire(top.slot);
     assert(top.when >= now_);
     now_ = top.when;
     ++executed_;
+    --live_;
     fn();
     return true;
   }
@@ -63,9 +98,9 @@ void Simulator::run_until(TimePoint t) {
   while (!heap_.empty()) {
     // Peek past cancelled entries.
     const Scheduled top = heap_.top();
-    if (cancelled_.contains(top.id)) {
+    if (!slots_[top.slot].armed) {
       heap_.pop();
-      cancelled_.erase(top.id);
+      retire(top.slot);
       continue;
     }
     if (top.when > t) break;

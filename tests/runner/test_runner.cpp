@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/aggregate.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/parallel.hpp"
+#include "runner/sweep_runner.hpp"
+#include "scenario/crowd.hpp"
+
+namespace d2dhb::runner {
+namespace {
+
+TEST(Parallel, ResultsInIndexOrder) {
+  const auto out = parallel_index_map(
+      100, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, EmptyInput) {
+  const auto out =
+      parallel_index_map(0, [](std::size_t i) { return i; }, 4);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Parallel, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_index_map(
+      hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return 0;
+      },
+      8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagatesSingleThread) {
+  EXPECT_THROW(parallel_index_map(
+                   4,
+                   [](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("boom");
+                     return i;
+                   },
+                   1),
+               std::runtime_error);
+}
+
+TEST(Parallel, ExceptionPropagatesMultiThread) {
+  try {
+    parallel_index_map(
+        32,
+        [](std::size_t i) {
+          if (i % 7 == 3) throw std::runtime_error("cell failed");
+          return i;
+        },
+        4);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell failed");
+  }
+}
+
+TEST(Parallel, StopsLaunchingAfterFailure) {
+  // With one worker the jobs run in index order, so nothing past the
+  // throwing job may start.
+  std::atomic<int> started{0};
+  EXPECT_THROW(parallel_index_map(
+                   100,
+                   [&](std::size_t i) {
+                     started.fetch_add(1);
+                     if (i == 5) throw std::runtime_error("stop");
+                     return i;
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_EQ(started.load(), 6);
+}
+
+TEST(SeedHelpers, Range) {
+  EXPECT_EQ(seed_range(101, 3),
+            (std::vector<std::uint64_t>{101, 102, 103}));
+  EXPECT_TRUE(seed_range(5, 0).empty());
+}
+
+TEST(SeedHelpers, ParseStartCount) {
+  EXPECT_EQ(parse_seed_list("101:5"),
+            (std::vector<std::uint64_t>{101, 102, 103, 104, 105}));
+}
+
+TEST(SeedHelpers, ParseExplicitList) {
+  EXPECT_EQ(parse_seed_list("1,2,9"),
+            (std::vector<std::uint64_t>{1, 2, 9}));
+  EXPECT_EQ(parse_seed_list("7"), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(SeedHelpers, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_seed_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_seed_list("1,x"), std::invalid_argument);
+  EXPECT_THROW(parse_seed_list("5:0"), std::invalid_argument);
+}
+
+TEST(Aggregate, SummarizeKnownSamples) {
+  const Aggregate a = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(a.n, 5u);
+  EXPECT_DOUBLE_EQ(a.mean, 3.0);
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+  EXPECT_DOUBLE_EQ(a.p50, 3.0);
+  EXPECT_NEAR(a.stddev, 1.5811, 1e-3);
+  EXPECT_NEAR(a.ci95_half, 1.96 * a.stddev / std::sqrt(5.0), 1e-12);
+}
+
+TEST(Aggregate, SummarizeEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Aggregate one = summarize({42.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.ci95_half, 0.0);  // no spread estimate from n=1
+}
+
+TEST(ExperimentRunner, SeedOrderPreserved) {
+  const std::vector<std::uint64_t> seeds{9, 3, 7, 1};
+  const ExperimentRunner runner{4};
+  const auto out =
+      runner.run(seeds, [](std::uint64_t seed) { return seed * 10; });
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{90, 30, 70, 10}));
+}
+
+struct ToyConfig {
+  double scale{1.0};
+};
+struct ToyMetrics {
+  double value{0.0};
+};
+
+SweepRunner<ToyConfig, ToyMetrics> toy_sweep() {
+  SweepRunner<ToyConfig, ToyMetrics> sweep(
+      [](const ToyConfig& c, std::uint64_t seed) {
+        // Deterministic pseudo-random function of (config, seed).
+        const auto mixed = static_cast<double>((seed * 2654435761u) % 1000);
+        return ToyMetrics{c.scale * mixed};
+      });
+  sweep.point("a", ToyConfig{1.0})
+      .point("b", ToyConfig{2.5})
+      .seeds(seed_range(1, 8))
+      .metric("value", [](const ToyMetrics& m) { return m.value; });
+  return sweep;
+}
+
+std::string table_csv(const Table& table) {
+  std::ostringstream os;
+  table.write_csv(os);
+  return os.str();
+}
+
+TEST(SweepRunner, DeterministicAcrossThreadCounts) {
+  auto single = toy_sweep();
+  auto multi = toy_sweep();
+  const auto r1 = single.threads(1).run();
+  const auto r8 = multi.threads(8).run();
+  EXPECT_EQ(r1.samples, r8.samples);
+  EXPECT_EQ(table_csv(r1.table()), table_csv(r8.table()));
+}
+
+TEST(SweepRunner, CellAndSampleLayout) {
+  auto sweep = toy_sweep();
+  const auto result = sweep.threads(2).run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  ASSERT_EQ(result.cells[0].size(), 8u);
+  ASSERT_EQ(result.samples[0].size(), 1u);
+  ASSERT_EQ(result.samples[0][0].size(), 8u);
+  // Point "b" scales point "a" by 2.5 for every seed.
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(result.samples[1][0][s], 2.5 * result.samples[0][0][s]);
+  }
+  const Aggregate a = result.aggregate(0, 0);
+  EXPECT_EQ(a.n, 8u);
+}
+
+TEST(SweepRunner, RejectsEmptyMatrix) {
+  SweepRunner<ToyConfig, ToyMetrics> no_points(
+      [](const ToyConfig&, std::uint64_t) { return ToyMetrics{}; });
+  EXPECT_THROW(no_points.run(), std::logic_error);
+
+  SweepRunner<ToyConfig, ToyMetrics> no_seeds(
+      [](const ToyConfig&, std::uint64_t) { return ToyMetrics{}; });
+  no_seeds.point("a", ToyConfig{}).seeds({});
+  EXPECT_THROW(no_seeds.run(), std::logic_error);
+}
+
+TEST(SweepRunner, ExceptionInCellPropagates) {
+  SweepRunner<ToyConfig, ToyMetrics> sweep(
+      [](const ToyConfig&, std::uint64_t seed) -> ToyMetrics {
+        if (seed == 3) throw std::runtime_error("cell 3 exploded");
+        return ToyMetrics{1.0};
+      });
+  sweep.point("a", ToyConfig{}).seeds(seed_range(1, 5)).threads(4).metric(
+      "value", [](const ToyMetrics& m) { return m.value; });
+  EXPECT_THROW(sweep.run(), std::runtime_error);
+}
+
+// End-to-end: a real (small) crowd experiment matrix must aggregate to
+// byte-identical tables for 1 worker and N workers.
+TEST(SweepRunner, CrowdSweepDeterministicAcrossThreads) {
+  auto make = [] {
+    scenario::CrowdConfig config;
+    config.phones = 12;
+    config.area_m = 40.0;
+    config.clusters = 2;
+    config.duration_s = 600.0;
+    SweepRunner<scenario::CrowdConfig, scenario::CrowdMetrics> sweep(
+        [](const scenario::CrowdConfig& base, std::uint64_t seed) {
+          scenario::CrowdConfig cfg = base;
+          cfg.seed = seed;
+          return scenario::run_d2d_crowd(cfg);
+        });
+    sweep.point("12 phones", config)
+        .seeds(seed_range(101, 2))
+        .metric("total L3",
+                [](const scenario::CrowdMetrics& m) {
+                  return static_cast<double>(m.total_l3);
+                })
+        .metric("radio uAh", [](const scenario::CrowdMetrics& m) {
+          return m.total_radio_uah;
+        });
+    return sweep;
+  };
+  auto single = make();
+  auto multi = make();
+  const auto r1 = single.threads(1).run();
+  const auto r4 = multi.threads(4).run();
+  EXPECT_EQ(r1.samples, r4.samples);
+  EXPECT_EQ(table_csv(r1.table()), table_csv(r4.table()));
+}
+
+}  // namespace
+}  // namespace d2dhb::runner

@@ -150,6 +150,91 @@ TEST(Simulator, MaxEventsBound) {
   EXPECT_EQ(fired, 3);
 }
 
+// Regression: pending_events() must track live events exactly through
+// cancel-after-fire and double-cancel, where the old heap-minus-tombstone
+// arithmetic could drift.
+TEST(Simulator, PendingEventsAccounting) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const EventId a = sim.schedule_after(seconds(1), [] {});
+  const EventId b = sim.schedule_after(seconds(2), [] {});
+  sim.schedule_after(seconds(3), [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_FALSE(sim.cancel(a));  // double-cancel: no drift
+  EXPECT_EQ(sim.pending_events(), 2u);
+
+  EXPECT_TRUE(sim.step());  // fires b (a's tombstone skipped)
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.cancel(b));  // cancel-after-fire: no drift
+  EXPECT_EQ(sim.pending_events(), 1u);
+
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(b));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A stale handle must never cancel a later event that reuses the same
+// internal storage slot.
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventId old_id = sim.schedule_after(seconds(1), [] {});
+  sim.run();  // fires; the slot is recycled
+  bool fired = false;
+  const EventId new_id =
+      sim.schedule_after(seconds(1), [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(sim.cancel(old_id));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledStormKeepsAccountingExact) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_after(microseconds((i * 31) % 500 + 1), [] {}));
+  }
+  // Cancel every other event, some of them twice.
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+    EXPECT_FALSE(sim.cancel(ids[i]));
+  }
+  EXPECT_EQ(sim.pending_events(), 500u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 500u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelWithinCallbackOfSameInstant) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId second{};
+  sim.schedule_after(seconds(1), [&] { sim.cancel(second); });
+  second = sim.schedule_after(seconds(1), [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// run_until must retire tombstones it walks past without disturbing the
+// live count.
+TEST(Simulator, RunUntilAccountsCancelledHeads) {
+  Simulator sim;
+  const EventId a = sim.schedule_after(seconds(1), [] {});
+  sim.schedule_after(seconds(10), [] {});
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(TimePoint{} + seconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   TimePoint last{};

@@ -2,13 +2,15 @@
 //
 // Runs any of the library's canned experiment families from the shell,
 // with the knobs exposed as flags and results printed as tables (CSV via
-// D2DHB_CSV_DIR, like the benches).
+// D2DHB_CSV_DIR, like the benches). Independent runs (the two system
+// arms, the seed matrix) execute in parallel through the runner library;
+// thread count comes from --threads, D2DHB_THREADS, or the hardware.
 //
 //   d2dhb_sim pair   [--ues N] [--tx K] [--distance M] [--bytes B]
 //                    [--period S] [--capacity M] [--lte] [--seed S]
 //   d2dhb_sim crowd  [--phones N] [--relay-fraction F] [--area M]
 //                    [--duration S] [--mobile] [--policy greedy|random|
-//                    density|first-n] [--seed S]
+//                    density|first-n] [--seed S] [--seeds N] [--threads T]
 //   d2dhb_sim baselines [--phones N] [--duration S] [--seed S]
 //   d2dhb_sim traces
 //
@@ -22,6 +24,8 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/sweep_runner.hpp"
 #include "scenario/baselines.hpp"
 #include "scenario/compressed_pair.hpp"
 #include "scenario/crowd.hpp"
@@ -41,8 +45,10 @@ using namespace d2dhb::scenario;
       << "  crowd      clustered crowd, real heartbeat periods\n"
       << "    --phones N --relay-fraction F --area M --duration S\n"
       << "    --mobile --policy greedy|random|density|first-n --seed S\n"
+      << "    --seeds N (run N seeds starting at --seed, aggregated)\n"
+      << "    --threads T (worker threads; default D2DHB_THREADS or hw)\n"
       << "  baselines  related-work strategy comparison\n"
-      << "    --phones N --duration S --seed S\n"
+      << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n";
   std::exit(2);
 }
@@ -109,8 +115,13 @@ int run_pair(Flags& flags, const char* argv0) {
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 1));
   flags.check(argv0);
 
-  const PairMetrics d2d = run_d2d_pair(config);
-  const PairMetrics orig = run_original_pair(config);
+  // The two arms are independent simulations; run them as parallel jobs.
+  const runner::ExperimentRunner arms;
+  const auto cells = arms.run_jobs(2, [&](std::size_t i) {
+    return i == 0 ? run_original_pair(config) : run_d2d_pair(config);
+  });
+  const PairMetrics& orig = cells[0];
+  const PairMetrics& d2d = cells[1];
   const Savings s = compare(orig, d2d);
 
   Table table{{"Metric", "Original", "D2D framework"}};
@@ -141,6 +152,12 @@ int run_pair(Flags& flags, const char* argv0) {
   return 0;
 }
 
+/// Both arms of one crowd run under the same layout seed.
+struct CrowdCell {
+  CrowdMetrics d2d;
+  CrowdMetrics orig;
+};
+
 int run_crowd(Flags& flags, const char* argv0) {
   CrowdConfig config;
   config.phones = static_cast<std::size_t>(flags.number("--phones", 48));
@@ -149,6 +166,10 @@ int run_crowd(Flags& flags, const char* argv0) {
   config.duration_s = flags.number("--duration", 3600.0);
   config.mobile = flags.has("--mobile");
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 7));
+  const auto seed_count =
+      static_cast<std::size_t>(flags.number("--seeds", 1));
+  const auto threads =
+      static_cast<std::size_t>(flags.number("--threads", 0));
   if (const auto policy = flags.value("--policy")) {
     if (*policy == "greedy") {
       config.operator_policy = core::SelectionPolicy::coverage_greedy;
@@ -164,9 +185,58 @@ int run_crowd(Flags& flags, const char* argv0) {
     }
   }
   flags.check(argv0);
+  if (seed_count == 0) {
+    std::cerr << "--seeds must be >= 1\n";
+    usage(argv0);
+  }
 
-  const CrowdMetrics d2d = run_d2d_crowd(config);
-  const CrowdMetrics orig = run_original_crowd(config);
+  if (seed_count > 1) {
+    // Seed matrix: aggregate both arms across layouts.
+    runner::SweepRunner<CrowdConfig, CrowdCell> sweep(
+        [](const CrowdConfig& base, std::uint64_t seed) {
+          CrowdConfig cfg = base;
+          cfg.seed = seed;
+          return CrowdCell{run_d2d_crowd(cfg), run_original_crowd(cfg)};
+        });
+    sweep.point(std::to_string(config.phones) + " phones", config)
+        .seeds(runner::seed_range(config.seed, seed_count))
+        .threads(threads)
+        .metric("signaling saved",
+                [](const CrowdCell& c) {
+                  return 1.0 - static_cast<double>(c.d2d.total_l3) /
+                                   static_cast<double>(c.orig.total_l3);
+                })
+        .metric("energy saved",
+                [](const CrowdCell& c) {
+                  return 1.0 - c.d2d.total_radio_uah / c.orig.total_radio_uah;
+                })
+        .metric("D2D L3 msgs",
+                [](const CrowdCell& c) {
+                  return static_cast<double>(c.d2d.total_l3);
+                })
+        .metric("peak L3/10s",
+                [](const CrowdCell& c) {
+                  return static_cast<double>(c.d2d.peak_l3_per_10s);
+                })
+        .metric("fallbacks",
+                [](const CrowdCell& c) {
+                  return static_cast<double>(c.d2d.fallbacks);
+                })
+        .metric("offline events", [](const CrowdCell& c) {
+          return static_cast<double>(c.d2d.server.offline_events);
+        });
+    std::cout << "Crowd sweep: " << seed_count << " seeds from "
+              << config.seed << "\n";
+    sweep.run().table().print(std::cout);
+    return 0;
+  }
+
+  const runner::ExperimentRunner arms{threads};
+  const auto cells = arms.run_jobs(2, [&](std::size_t i) {
+    return i == 0 ? run_original_crowd(config) : run_d2d_crowd(config);
+  });
+  const CrowdMetrics& orig = cells[0];
+  const CrowdMetrics& d2d = cells[1];
 
   Table table{{"Metric", "Original", "D2D framework"}};
   table.add_row({"Phones / relays",
@@ -205,11 +275,28 @@ int run_baselines(Flags& flags, const char* argv0) {
   config.phones = static_cast<std::size_t>(flags.number("--phones", 12));
   config.duration_s = flags.number("--duration", 3600.0);
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 21));
+  const auto threads =
+      static_cast<std::size_t>(flags.number("--threads", 0));
   flags.check(argv0);
+
+  // Each strategy arm is an independent simulation — parallel jobs.
+  using StrategyFn = StrategyMetrics (*)(const BaselineConfig&);
+  const StrategyFn arms[] = {
+      run_baseline_original,
+      +[](const BaselineConfig& c) {
+        return run_baseline_period_extension(c, 2.0);
+      },
+      run_baseline_piggyback,
+      run_baseline_fast_dormancy,
+      run_d2d_framework_arm,
+  };
+  const runner::ExperimentRunner runner{threads};
+  const auto strategies = runner.run_jobs(
+      std::size(arms), [&](std::size_t i) { return arms[i](config); });
 
   Table table{{"Strategy", "L3 msgs", "Radio uAh", "Mean delay (s)",
                "Offline detect (s)", "Notes"}};
-  for (const StrategyMetrics& s : run_all_strategies(config)) {
+  for (const StrategyMetrics& s : strategies) {
     table.add_row({s.name, std::to_string(s.total_l3),
                    Table::num(s.total_radio_uah, 0),
                    Table::num(s.mean_latency_s, 1),
