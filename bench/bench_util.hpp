@@ -5,12 +5,14 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "metrics/export.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/parallel.hpp"
 #include "runner/sweep_runner.hpp"
@@ -70,6 +72,25 @@ inline void emit(const Table& table, const std::string& name) {
   }
   table.write_csv(out);
   std::cout << "(csv written to " << path << ")\n";
+}
+
+/// The `--metrics-out PATH` flag shared by the benches that export
+/// registry snapshots; empty when the flag is absent.
+inline std::string metrics_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes the snapshot report when a --metrics-out path was given
+/// (format by extension, like metrics::write_report).
+inline void emit_metrics(const metrics::NamedSnapshots& sections,
+                         const std::string& path) {
+  if (path.empty()) return;
+  if (metrics::write_report(sections, path)) {
+    std::cout << "(metrics written to " << path << ")\n";
+  }
 }
 
 }  // namespace d2dhb::bench

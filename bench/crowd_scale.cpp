@@ -44,7 +44,7 @@ CrowdConfig scale_point(std::size_t phones) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Crowd scale: signaling and energy at deployment size (1 h runs)",
       ">50% signaling reduction; energy saving grows with relay load");
@@ -70,11 +70,16 @@ int main() {
               [](const CrowdCell& c) {
                 return static_cast<double>(c.d2d.fallbacks);
               })
-      .metric("offline events", [](const CrowdCell& c) {
-        return static_cast<double>(c.d2d.server.offline_events);
-      });
+      .metric("offline events",
+              [](const CrowdCell& c) {
+                return static_cast<double>(c.d2d.server.offline_events);
+              })
+      .snapshot([](const CrowdCell& c) { return c.d2d.metrics; });
   const auto result = sweep.run();
   bench::emit(result.table(), "crowd_scale");
+  // One merged-across-seeds snapshot per sweep point (D2D arm).
+  bench::emit_metrics(result.labeled_snapshots(),
+                      bench::metrics_out_path(argc, argv));
 
   // Per-point detail for the first seed — the paper-style absolute rows.
   Table detail{{"Phones", "Relays", "Orig L3", "D2D L3", "Signaling saved",

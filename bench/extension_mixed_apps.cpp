@@ -48,8 +48,9 @@ int main() {
   core::RelayAgent& relay = world.add_relay(relay_phone, relay_params);
   apps::HeartbeatApp& diag = relay.add_own_app(diagnostics_beacon());
   world.register_session(relay_phone, 3 * apps::wechat().heartbeat_period);
-  world.register_session(relay_phone, diag.app_id(),
-                         3 * diagnostics_beacon().heartbeat_period);
+  world.register_session(relay_phone,
+                         3 * diagnostics_beacon().heartbeat_period,
+                         diag.app_id());
 
   // Each UE runs all three IM apps.
   std::vector<core::UeAgent*> ues;
@@ -62,10 +63,10 @@ int main() {
     apps::HeartbeatApp& whatsapp = ue.add_app(apps::whatsapp());
     apps::HeartbeatApp& qq = ue.add_app(apps::qq());
     world.register_session(phone, 3 * apps::wechat().heartbeat_period);
-    world.register_session(phone, whatsapp.app_id(),
-                           3 * apps::whatsapp().heartbeat_period);
-    world.register_session(phone, qq.app_id(),
-                           3 * apps::qq().heartbeat_period);
+    world.register_session(phone, 3 * apps::whatsapp().heartbeat_period,
+                           whatsapp.app_id());
+    world.register_session(phone, 3 * apps::qq().heartbeat_period,
+                           qq.app_id());
     ues.push_back(&ue);
   }
 

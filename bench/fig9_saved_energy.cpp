@@ -6,7 +6,7 @@
 #include "common/table.hpp"
 #include "scenario/compressed_pair.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace d2dhb;
   using namespace d2dhb::scenario;
   bench::print_header(
@@ -19,10 +19,15 @@ int main() {
   Series sys1{"System, 1 UE", {}, {}};
   Series sys3{"System, 3 UEs", {}, {}};
   Series ue{"UE", {}, {}};
+  std::vector<metrics::Snapshot> orig_snaps, d2d_snaps;
   for (std::size_t k = 1; k <= 8; ++k) {
     CompressedPairConfig one;
     one.transmissions = k;
-    const Savings s1 = compare(run_original_pair(one), run_d2d_pair(one));
+    const PairMetrics orig1 = run_original_pair(one);
+    const PairMetrics d2d1 = run_d2d_pair(one);
+    const Savings s1 = compare(orig1, d2d1);
+    orig_snaps.push_back(orig1.metrics);
+    d2d_snaps.push_back(d2d1.metrics);
     CompressedPairConfig three = one;
     three.num_ues = 3;
     const Savings s3 =
@@ -39,6 +44,10 @@ int main() {
                    bench::pct(s1.ue_energy_fraction)});
   }
   bench::emit(table, "fig9_saved_energy");
+  // 1-UE arms merged across all transmission counts.
+  bench::emit_metrics({{"original", metrics::merge(orig_snaps)},
+                       {"d2d", metrics::merge(d2d_snaps)}},
+                      bench::metrics_out_path(argc, argv));
 
   AsciiChart chart{"Fig. 9: saved energy (%)", "transmission times",
                    "saved energy (%)"};

@@ -47,6 +47,7 @@ class TraceLog {
               std::string message);
 
   const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t capacity() const { return capacity_; }
   std::size_t dropped() const { return dropped_; }
   void clear();
 
@@ -59,6 +60,12 @@ class TraceLog {
   /// Human-readable dump (optionally only one category).
   void print(std::ostream& os) const;
   void print(std::ostream& os, TraceCategory category) const;
+
+  /// Machine-readable dump: one JSON object per line
+  /// ({"t":s,"category":...,"node":...,"message":...}), written with the
+  /// same deterministic number/string formatting as the metrics exports
+  /// (common/json). A final meta line reports capacity and drops.
+  void write_jsonl(std::ostream& os) const;
 
  private:
   bool enabled_{false};

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "common/json.hpp"
+
 namespace d2dhb {
 
 const char* to_string(TraceCategory category) {
@@ -59,6 +61,20 @@ void TraceLog::print(std::ostream& os, TraceCategory category) const {
   for (const auto& e : events_) {
     if (e.category == category) print_event(os, e);
   }
+}
+
+void TraceLog::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << "{\"t\":" << json::number(to_seconds(e.when))
+       << ",\"category\":\"" << to_string(e.category) << "\",\"node\":"
+       << json::number(e.node.value) << ",\"message\":\""
+       << json::escape(e.message) << "\"}\n";
+  }
+  os << "{\"meta\":{\"events\":"
+     << json::number(static_cast<std::uint64_t>(events_.size()))
+     << ",\"capacity\":" << json::number(static_cast<std::uint64_t>(capacity_))
+     << ",\"dropped\":" << json::number(static_cast<std::uint64_t>(dropped_))
+     << "}}\n";
 }
 
 TraceLog& global_trace() {

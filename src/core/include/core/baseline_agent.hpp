@@ -20,6 +20,7 @@
 #include "apps/app_profile.hpp"
 #include "apps/traffic_mix.hpp"
 #include "core/phone.hpp"
+#include "metrics/registry.hpp"
 #include "radio/base_station.hpp"
 
 namespace d2dhb::core {
@@ -43,11 +44,14 @@ class CellularBaselineAgent {
     bool with_data_traffic{true};
   };
 
+  /// Point-in-time snapshot of the agent's registry series.
   struct Stats {
     std::uint64_t heartbeats{0};
     std::uint64_t data_sends{0};
     std::uint64_t piggybacked{0};   ///< Heartbeats that rode a data send.
     std::uint64_t sent_alone{0};    ///< Heartbeats that hit their margin.
+
+    metrics::StatsRow row() const;
   };
 
   CellularBaselineAgent(sim::Simulator& sim, Phone& phone, Params params,
@@ -61,7 +65,9 @@ class CellularBaselineAgent {
   void stop();
 
   Phone& phone() { return phone_; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of this agent's metrics (assembled from the registry).
+  Stats stats() const;
+  Stats snapshot() const { return stats(); }
   /// The effective (possibly extended) heartbeat period.
   Duration heartbeat_period() const {
     return effective_profile_.heartbeat_period;
@@ -83,7 +89,12 @@ class CellularBaselineAgent {
   std::vector<net::HeartbeatMessage> pending_;
   sim::EventId pending_deadline_{};
   std::uint64_t seq_{0};
-  Stats stats_;
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* heartbeats_ctr_;
+  metrics::Counter* data_sends_ctr_;
+  metrics::Counter* piggybacked_ctr_;
+  metrics::Counter* sent_alone_ctr_;
 };
 
 }  // namespace d2dhb::core

@@ -13,6 +13,7 @@
 
 #include "common/id.hpp"
 #include "common/units.hpp"
+#include "metrics/registry.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -24,15 +25,19 @@ class FeedbackTracker {
   /// the UE's cue to retransmit over cellular.
   using FallbackHandler = std::function<void(const net::HeartbeatMessage&)>;
 
+  /// Point-in-time snapshot of the tracker's registry series.
   struct Stats {
     std::uint64_t tracked{0};
     std::uint64_t acknowledged{0};
     std::uint64_t timed_out{0};
     std::uint64_t failed_immediately{0};  ///< fail_all_pending() victims.
+
+    metrics::StatsRow row() const;
   };
 
+  /// `node` labels this tracker's metrics (0 = unlabeled unit-test use).
   FeedbackTracker(sim::Simulator& sim, Duration timeout,
-                  FallbackHandler on_fallback);
+                  FallbackHandler on_fallback, NodeId node = {});
   ~FeedbackTracker();
   FeedbackTracker(const FeedbackTracker&) = delete;
   FeedbackTracker& operator=(const FeedbackTracker&) = delete;
@@ -48,7 +53,9 @@ class FeedbackTracker {
   void fail_all_pending();
 
   std::size_t pending() const { return pending_.size(); }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of this tracker's metrics (assembled from the registry).
+  Stats stats() const;
+  Stats snapshot() const { return stats(); }
   Duration timeout() const { return timeout_; }
 
  private:
@@ -61,7 +68,12 @@ class FeedbackTracker {
   Duration timeout_;
   FallbackHandler on_fallback_;
   std::unordered_map<MessageId, Entry> pending_;
-  Stats stats_;
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* tracked_ctr_;
+  metrics::Counter* acknowledged_ctr_;
+  metrics::Counter* timed_out_ctr_;
+  metrics::Counter* failed_immediately_ctr_;
 };
 
 }  // namespace d2dhb::core

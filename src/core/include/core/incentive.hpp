@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/id.hpp"
+#include "metrics/registry.hpp"
 
 namespace d2dhb::core {
 
@@ -36,6 +37,10 @@ class IncentiveLedger {
 
   double total_issued() const { return total_issued_; }
   const Tariff& tariff() const { return tariff_; }
+
+  /// Exposes the ledger through a registry (the ledger itself has no
+  /// simulator handle; the owning Scenario binds it once at setup).
+  void bind_metrics(metrics::MetricsRegistry& registry);
 
  private:
   Tariff tariff_;

@@ -9,6 +9,7 @@
 
 #include "apps/heartbeat_app.hpp"
 #include "core/phone.hpp"
+#include "metrics/registry.hpp"
 #include "radio/base_station.hpp"
 
 namespace d2dhb::core {
@@ -26,7 +27,7 @@ class OriginalAgent {
 
   Phone& phone() { return phone_; }
   std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() { return apps_; }
-  std::uint64_t heartbeats_sent() const { return sent_; }
+  std::uint64_t heartbeats_sent() const { return sent_ctr_->value(); }
 
  private:
   void send(const net::HeartbeatMessage& message);
@@ -35,7 +36,9 @@ class OriginalAgent {
   Phone& phone_;
   radio::BaseStation& bs_;
   std::vector<std::unique_ptr<apps::HeartbeatApp>> apps_;
-  std::uint64_t sent_{0};
+
+  // Registry-backed counter (owned by the simulator's registry).
+  metrics::Counter* sent_ctr_;
 };
 
 }  // namespace d2dhb::core

@@ -38,6 +38,7 @@ class RelayAgent {
     Duration battery_poll_interval{seconds(30)};
   };
 
+  /// Point-in-time snapshot of the relay's registry series.
   struct Stats {
     std::uint64_t own_heartbeats{0};
     std::uint64_t forwarded_received{0};
@@ -45,6 +46,8 @@ class RelayAgent {
     std::uint64_t bundles_sent{0};
     std::uint64_t heartbeats_uplinked{0};
     std::uint64_t feedback_acks_sent{0};
+
+    metrics::StatsRow row() const;
   };
 
   RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
@@ -63,8 +66,11 @@ class RelayAgent {
 
   Phone& phone() { return phone_; }
   MessageScheduler& scheduler() { return scheduler_; }
+  const MessageScheduler& scheduler() const { return scheduler_; }
   apps::HeartbeatApp& own_app() { return own_app_; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of this relay's metrics (assembled from the registry).
+  Stats stats() const;
+  Stats snapshot() const { return stats(); }
   bool running() const { return running_; }
   /// Battery level in [0, 1]; 1.0 when no battery is modeled.
   double battery_level();
@@ -90,9 +96,17 @@ class RelayAgent {
   std::vector<std::unique_ptr<apps::HeartbeatApp>> extra_apps_;
   std::unique_ptr<energy::Battery> battery_;
   std::unique_ptr<sim::PeriodicTimer> battery_poll_;
-  Stats stats_;
   bool running_{false};
   bool retired_{false};
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* own_heartbeats_ctr_;
+  metrics::Counter* forwarded_received_ctr_;
+  metrics::Counter* forwarded_rejected_ctr_;
+  metrics::Counter* bundles_sent_ctr_;
+  metrics::Counter* heartbeats_uplinked_ctr_;
+  metrics::Counter* feedback_acks_sent_ctr_;
+  metrics::Sampler* battery_sampler_{nullptr};
 };
 
 }  // namespace d2dhb::core

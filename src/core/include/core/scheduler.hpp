@@ -21,7 +21,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/id.hpp"
 #include "common/units.hpp"
+#include "metrics/registry.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -55,22 +57,38 @@ class MessageScheduler {
     /// collect until the next heartbeat period"). If true, collection
     /// continues between windows with per-message expiry flushes.
     bool collect_between_windows{true};
+    /// Owning relay, used as the metrics `node` label (0 = unlabeled,
+    /// e.g. a scheduler driven directly in a unit test).
+    NodeId node{};
   };
 
+  /// Point-in-time snapshot of the scheduler's registry series. Returned
+  /// by value from stats(); rebuild it after further simulation to see
+  /// updated values.
   struct Stats {
     std::uint64_t windows{0};
     std::uint64_t collected{0};
-    std::uint64_t flushes{0};
     std::uint64_t flushed_messages{0};
     std::uint64_t rejected{0};
-    std::uint64_t flushes_by_reason[4]{};
+
+    /// Total flushes across all reasons.
+    std::uint64_t flushes() const { return flushes_total; }
+    /// Flushes attributed to one Algorithm-1 bound.
+    std::uint64_t flushes(FlushReason reason) const {
+      return by_reason[static_cast<std::size_t>(reason)];
+    }
     /// Distribution input: messages per flush, for aggregation-factor
     /// reporting.
     double mean_bundle_size() const {
-      return flushes == 0 ? 0.0
-                          : static_cast<double>(flushed_messages) /
-                                static_cast<double>(flushes);
+      return flushes_total == 0 ? 0.0
+                                : static_cast<double>(flushed_messages) /
+                                      static_cast<double>(flushes_total);
     }
+    metrics::StatsRow row() const;
+
+    // Snapshot storage (prefer the typed accessors above).
+    std::uint64_t flushes_total{0};
+    std::uint64_t by_reason[4]{};
   };
 
   /// `on_flush` receives the buffered messages (own heartbeat first when
@@ -101,7 +119,9 @@ class MessageScheduler {
     return collected_.size() + (own_ ? 1 : 0);
   }
   std::size_t remaining_capacity() const;
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of this scheduler's metrics (assembled from the registry).
+  Stats stats() const;
+  Stats snapshot() const { return stats(); }
   const Params& params() const { return params_; }
 
   /// Earliest deadline among everything buffered (for tests/monitoring).
@@ -119,7 +139,14 @@ class MessageScheduler {
   TimePoint window_deadline_{};  ///< own created_at + T.
   std::vector<net::HeartbeatMessage> collected_;
   sim::EventId deadline_event_{};
-  Stats stats_;
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* windows_ctr_;
+  metrics::Counter* collected_ctr_;
+  metrics::Counter* rejected_ctr_;
+  metrics::Counter* flushed_messages_ctr_;
+  metrics::Counter* flush_ctrs_[4];  ///< Indexed by FlushReason.
+  metrics::Histogram* bundle_size_;
 };
 
 }  // namespace d2dhb::core

@@ -42,6 +42,7 @@ class UeAgent {
     double reassess_improvement{0.6};
   };
 
+  /// Point-in-time snapshot of the UE's registry series.
   struct Stats {
     std::uint64_t heartbeats{0};
     std::uint64_t sent_via_d2d{0};
@@ -54,6 +55,8 @@ class UeAgent {
     std::uint64_t link_losses{0};
     std::uint64_t reassessments{0};
     std::uint64_t handovers{0};
+
+    metrics::StatsRow row() const;
   };
 
   enum class LinkState { idle, discovering, connecting, connected };
@@ -81,7 +84,9 @@ class UeAgent {
   }
   LinkState link_state() const { return state_; }
   NodeId current_relay() const { return relay_; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of this UE's metrics (assembled from the registry).
+  Stats stats() const;
+  Stats snapshot() const { return stats(); }
   const FeedbackTracker& feedback() const { return feedback_; }
 
  private:
@@ -113,8 +118,20 @@ class UeAgent {
   TimePoint backoff_until_{};
   Duration current_backoff_{};
   std::vector<net::HeartbeatMessage> awaiting_link_;
-  Stats stats_;
   bool running_{false};
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* heartbeats_ctr_;
+  metrics::Counter* sent_via_d2d_ctr_;
+  metrics::Counter* sent_via_cellular_ctr_;
+  metrics::Counter* fallback_cellular_ctr_;
+  metrics::Counter* discoveries_ctr_;
+  metrics::Counter* matches_ctr_;
+  metrics::Counter* connects_ctr_;
+  metrics::Counter* connect_failures_ctr_;
+  metrics::Counter* link_losses_ctr_;
+  metrics::Counter* reassessments_ctr_;
+  metrics::Counter* handovers_ctr_;
 };
 
 }  // namespace d2dhb::core

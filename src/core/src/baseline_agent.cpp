@@ -36,6 +36,12 @@ CellularBaselineAgent::CellularBaselineAgent(
   phone_.modem().set_fast_dormancy(params_.fast_dormancy);
   phone_.modem().set_uplink_handler(
       [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{phone_.id().value, -1, "baseline"};
+  heartbeats_ctr_ = &reg.counter("baseline.heartbeats", labels);
+  data_sends_ctr_ = &reg.counter("baseline.data_sends", labels);
+  piggybacked_ctr_ = &reg.counter("baseline.piggybacked", labels);
+  sent_alone_ctr_ = &reg.counter("baseline.sent_alone", labels);
 }
 
 CellularBaselineAgent::~CellularBaselineAgent() {
@@ -67,7 +73,7 @@ net::HeartbeatMessage CellularBaselineAgent::make_heartbeat() {
 void CellularBaselineAgent::on_traffic(
     apps::MixedTrafficGenerator::Kind kind, Bytes size) {
   if (kind == apps::MixedTrafficGenerator::Kind::heartbeat) {
-    ++stats_.heartbeats;
+    heartbeats_ctr_->inc();
     if (!params_.piggyback) {
       pending_.push_back(make_heartbeat());
       send_heartbeats_now(Bytes{0});
@@ -79,9 +85,9 @@ void CellularBaselineAgent::on_traffic(
   }
 
   if (!params_.with_data_traffic) return;
-  ++stats_.data_sends;
+  data_sends_ctr_->inc();
   // A data transmission: anything pending rides along for free.
-  stats_.piggybacked += pending_.size();
+  piggybacked_ctr_->inc(pending_.size());
   send_heartbeats_now(size);
 }
 
@@ -111,9 +117,27 @@ void CellularBaselineAgent::arm_pending_deadline() {
   if (fire < sim_.now()) fire = sim_.now();
   pending_deadline_ = sim_.schedule_at(fire, [this] {
     pending_deadline_ = {};
-    stats_.sent_alone += pending_.size();
+    sent_alone_ctr_->inc(pending_.size());
     send_heartbeats_now(Bytes{0});
   });
+}
+
+CellularBaselineAgent::Stats CellularBaselineAgent::stats() const {
+  Stats s;
+  s.heartbeats = heartbeats_ctr_->value();
+  s.data_sends = data_sends_ctr_->value();
+  s.piggybacked = piggybacked_ctr_->value();
+  s.sent_alone = sent_alone_ctr_->value();
+  return s;
+}
+
+metrics::StatsRow CellularBaselineAgent::Stats::row() const {
+  return {
+      {"heartbeats", static_cast<double>(heartbeats)},
+      {"data_sends", static_cast<double>(data_sends)},
+      {"piggybacked", static_cast<double>(piggybacked)},
+      {"sent_alone", static_cast<double>(sent_alone)},
+  };
 }
 
 }  // namespace d2dhb::core

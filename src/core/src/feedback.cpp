@@ -5,8 +5,15 @@
 namespace d2dhb::core {
 
 FeedbackTracker::FeedbackTracker(sim::Simulator& sim, Duration timeout,
-                                 FallbackHandler on_fallback)
-    : sim_(sim), timeout_(timeout), on_fallback_(std::move(on_fallback)) {}
+                                 FallbackHandler on_fallback, NodeId node)
+    : sim_(sim), timeout_(timeout), on_fallback_(std::move(on_fallback)) {
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{node.value, -1, "feedback"};
+  tracked_ctr_ = &reg.counter("feedback.tracked", labels);
+  acknowledged_ctr_ = &reg.counter("feedback.acknowledged", labels);
+  timed_out_ctr_ = &reg.counter("feedback.timed_out", labels);
+  failed_immediately_ctr_ = &reg.counter("feedback.failed_immediately", labels);
+}
 
 FeedbackTracker::~FeedbackTracker() {
   for (auto& [id, entry] : pending_) sim_.cancel(entry.timeout_event);
@@ -14,13 +21,13 @@ FeedbackTracker::~FeedbackTracker() {
 
 void FeedbackTracker::track(net::HeartbeatMessage message) {
   const MessageId id = message.id;
-  ++stats_.tracked;
+  tracked_ctr_->inc();
   const sim::EventId event = sim_.schedule_after(timeout_, [this, id] {
     const auto it = pending_.find(id);
     if (it == pending_.end()) return;
     net::HeartbeatMessage message = std::move(it->second.message);
     pending_.erase(it);
-    ++stats_.timed_out;
+    timed_out_ctr_->inc();
     on_fallback_(message);
   });
   pending_.emplace(id, Entry{std::move(message), event});
@@ -32,7 +39,7 @@ void FeedbackTracker::acknowledge(const std::vector<MessageId>& delivered) {
     if (it == pending_.end()) continue;
     sim_.cancel(it->second.timeout_event);
     pending_.erase(it);
-    ++stats_.acknowledged;
+    acknowledged_ctr_->inc();
   }
 }
 
@@ -44,8 +51,26 @@ void FeedbackTracker::fail_all_pending() {
     victims.push_back(std::move(entry.message));
   }
   pending_.clear();
-  stats_.failed_immediately += victims.size();
+  failed_immediately_ctr_->inc(victims.size());
   for (auto& message : victims) on_fallback_(message);
+}
+
+FeedbackTracker::Stats FeedbackTracker::stats() const {
+  Stats s;
+  s.tracked = tracked_ctr_->value();
+  s.acknowledged = acknowledged_ctr_->value();
+  s.timed_out = timed_out_ctr_->value();
+  s.failed_immediately = failed_immediately_ctr_->value();
+  return s;
+}
+
+metrics::StatsRow FeedbackTracker::Stats::row() const {
+  return {
+      {"tracked", static_cast<double>(tracked)},
+      {"acknowledged", static_cast<double>(acknowledged)},
+      {"timed_out", static_cast<double>(timed_out)},
+      {"failed_immediately", static_cast<double>(failed_immediately)},
+  };
 }
 
 }  // namespace d2dhb::core

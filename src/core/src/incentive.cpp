@@ -27,6 +27,11 @@ double IncentiveLedger::redeemable_mb(NodeId relay) const {
   return balance(relay) * tariff_.free_mb_per_credit;
 }
 
+void IncentiveLedger::bind_metrics(metrics::MetricsRegistry& registry) {
+  registry.gauge_fn("incentive.credits_issued", {0, -1, "incentive"},
+                    [this] { return total_issued_; });
+}
+
 double IncentiveLedger::redeem(NodeId relay, double credits) {
   auto it = balances_.find(relay);
   if (it == balances_.end()) return 0.0;

@@ -10,6 +10,8 @@ OriginalAgent::OriginalAgent(sim::Simulator& sim, Phone& phone,
     : sim_(sim), phone_(phone), bs_(bs) {
   phone_.modem().set_uplink_handler(
       [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
+  sent_ctr_ = &sim_.metrics().counter("original.heartbeats_sent",
+                                      {phone_.id().value, -1, "original"});
   add_app(std::move(app), message_ids);
 }
 
@@ -34,7 +36,7 @@ void OriginalAgent::stop() {
 }
 
 void OriginalAgent::send(const net::HeartbeatMessage& message) {
-  ++sent_;
+  sent_ctr_->inc();
   net::UplinkBundle bundle;
   bundle.sender = phone_.id();
   bundle.messages = {message};

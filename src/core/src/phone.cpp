@@ -18,6 +18,15 @@ Phone::Phone(sim::Simulator& sim, NodeId id, PhoneConfig config,
             *(mobility_ ? mobility_.get()
                         : throw std::invalid_argument(
                               "PhoneConfig.mobility is required")),
-            meter_, config.d2d_energy, rng) {}
+            meter_, config.d2d_energy, rng) {
+  // Per-node energy roll-ups, evaluated at snapshot time. The component
+  // radios register their own energy.*_uah gauges; these add the
+  // radio-attributable sum and the everything-included total.
+  auto& reg = sim.metrics();
+  reg.gauge_fn("energy.radio_uah", {id_.value, -1, "phone"},
+               [this] { return radio_charge().value; });
+  reg.gauge_fn("energy.total_uah", {id_.value, -1, "phone"},
+               [this] { return total_charge().value; });
+}
 
 }  // namespace d2dhb::core

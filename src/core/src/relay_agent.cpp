@@ -12,6 +12,13 @@
 
 namespace d2dhb::core {
 
+namespace {
+MessageScheduler::Params labelled(MessageScheduler::Params p, NodeId node) {
+  p.node = node;
+  return p;
+}
+}  // namespace
+
 RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
                        radio::BaseStation& bs,
                        IdGenerator<MessageId>& message_ids,
@@ -22,7 +29,7 @@ RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
       bs_(bs),
       message_ids_(message_ids),
       ledger_(ledger),
-      scheduler_(sim, params.scheduler,
+      scheduler_(sim, labelled(params.scheduler, phone.id()),
                  [this](std::vector<net::HeartbeatMessage> batch,
                         FlushReason reason) {
                    on_flush(std::move(batch), reason);
@@ -36,11 +43,22 @@ RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
       [this](const net::D2dPayload& payload, NodeId from) {
         on_d2d_receive(payload, from);
       });
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{phone_.id().value, -1, "relay"};
+  own_heartbeats_ctr_ = &reg.counter("relay.own_heartbeats", labels);
+  forwarded_received_ctr_ = &reg.counter("relay.forwarded_received", labels);
+  forwarded_rejected_ctr_ = &reg.counter("relay.forwarded_rejected", labels);
+  bundles_sent_ctr_ = &reg.counter("relay.bundles_sent", labels);
+  heartbeats_uplinked_ctr_ = &reg.counter("relay.heartbeats_uplinked", labels);
+  feedback_acks_sent_ctr_ = &reg.counter("relay.feedback_acks_sent", labels);
   if (params_.battery_capacity.value > 0.0) {
     battery_ = std::make_unique<energy::Battery>(
         phone_.meter(), params_.battery_capacity, [this] { retire(); });
     battery_poll_ = std::make_unique<sim::PeriodicTimer>(
         sim_, params_.battery_poll_interval, [this] { poll_battery(); });
+    reg.gauge_fn("battery.level", labels,
+                 [this] { return battery_->level(); });
+    battery_sampler_ = &reg.sampler("battery.trace", labels);
   }
 }
 
@@ -50,6 +68,9 @@ double RelayAgent::battery_level() {
 
 void RelayAgent::poll_battery() {
   if (!battery_ || retired_) return;
+  if (battery_sampler_ != nullptr) {
+    battery_sampler_->sample(sim_.now(), battery_->level());
+  }
   if (battery_->level() <= params_.retire_battery_level) {
     retire();
     return;
@@ -112,7 +133,7 @@ void RelayAgent::stop() {
 }
 
 void RelayAgent::on_own_heartbeat(const net::HeartbeatMessage& message) {
-  ++stats_.own_heartbeats;
+  own_heartbeats_ctr_->inc();
   scheduler_.begin_window(message);
   refresh_advert();
 }
@@ -121,12 +142,12 @@ void RelayAgent::on_d2d_receive(const net::D2dPayload& payload, NodeId from) {
   const auto* hb = std::get_if<net::HeartbeatMessage>(&payload);
   if (hb == nullptr) return;  // relays don't consume feedback acks
   if (!running_ || !scheduler_.collect(*hb)) {
-    ++stats_.forwarded_rejected;
+    forwarded_rejected_ctr_->inc();
     D2DHB_LOG(debug) << "relay " << phone_.id().value
                      << " rejected heartbeat from " << from.value;
     return;
   }
-  ++stats_.forwarded_received;
+  forwarded_received_ctr_->inc();
   refresh_advert();
 }
 
@@ -147,8 +168,8 @@ void RelayAgent::on_flush(std::vector<net::HeartbeatMessage> batch,
 }
 
 void RelayAgent::on_uplink_complete(const net::UplinkBundle& bundle) {
-  ++stats_.bundles_sent;
-  stats_.heartbeats_uplinked += bundle.messages.size();
+  bundles_sent_ctr_->inc();
+  heartbeats_uplinked_ctr_->inc(bundle.messages.size());
   bs_.receive(bundle);
 
   // Feedback: ack every UE whose heartbeats rode in this aggregate.
@@ -166,7 +187,7 @@ void RelayAgent::on_uplink_complete(const net::UplinkBundle& bundle) {
       if (m.origin == ue) ack.delivered.push_back(m.id);
     }
     if (phone_.wifi().connected_to(ue)) {
-      ++stats_.feedback_acks_sent;
+      feedback_acks_sent_ctr_->inc();
       phone_.wifi().send(ue, net::D2dPayload{std::move(ack)},
                          [](Status) { /* best effort */ });
     }
@@ -193,6 +214,28 @@ void RelayAgent::refresh_advert() {
         capacity);
     phone_.wifi().set_group_owner_intent(intent);
   }
+}
+
+RelayAgent::Stats RelayAgent::stats() const {
+  Stats s;
+  s.own_heartbeats = own_heartbeats_ctr_->value();
+  s.forwarded_received = forwarded_received_ctr_->value();
+  s.forwarded_rejected = forwarded_rejected_ctr_->value();
+  s.bundles_sent = bundles_sent_ctr_->value();
+  s.heartbeats_uplinked = heartbeats_uplinked_ctr_->value();
+  s.feedback_acks_sent = feedback_acks_sent_ctr_->value();
+  return s;
+}
+
+metrics::StatsRow RelayAgent::Stats::row() const {
+  return {
+      {"own_heartbeats", static_cast<double>(own_heartbeats)},
+      {"forwarded_received", static_cast<double>(forwarded_received)},
+      {"forwarded_rejected", static_cast<double>(forwarded_rejected)},
+      {"bundles_sent", static_cast<double>(bundles_sent)},
+      {"heartbeats_uplinked", static_cast<double>(heartbeats_uplinked)},
+      {"feedback_acks_sent", static_cast<double>(feedback_acks_sent)},
+  };
 }
 
 }  // namespace d2dhb::core

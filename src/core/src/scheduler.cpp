@@ -30,6 +30,22 @@ MessageScheduler::MessageScheduler(sim::Simulator& sim, Params params,
     throw std::invalid_argument(
         "MessageScheduler: deadline_margin must be non-negative");
   }
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{params_.node.value, -1, "scheduler"};
+  windows_ctr_ = &reg.counter("scheduler.windows", labels);
+  collected_ctr_ = &reg.counter("scheduler.collected", labels);
+  rejected_ctr_ = &reg.counter("scheduler.rejected", labels);
+  flushed_messages_ctr_ = &reg.counter("scheduler.flushed_messages", labels);
+  for (std::size_t i = 0; i < 4; ++i) {
+    flush_ctrs_[i] = &reg.counter(
+        std::string("scheduler.flushes.") +
+            to_string(static_cast<FlushReason>(i)),
+        labels);
+  }
+  // Bundle-size distribution: one bucket per count up to the paper's
+  // sweet-spot capacity range (Fig. 9 peaks at M = 7).
+  bundle_size_ = &reg.histogram("scheduler.bundle_size",
+                                {1, 2, 3, 4, 5, 6, 7, 8}, labels);
 }
 
 MessageScheduler::~MessageScheduler() {
@@ -47,7 +63,7 @@ void MessageScheduler::begin_window(net::HeartbeatMessage own) {
     // Previous window still open: periods never overlap, send it out.
     flush(FlushReason::window_end);
   }
-  ++stats_.windows;
+  windows_ctr_->inc();
   window_deadline_ = own.created_at + params_.max_own_delay;
   own_ = std::move(own);
   rearm();
@@ -55,16 +71,16 @@ void MessageScheduler::begin_window(net::HeartbeatMessage own) {
 
 bool MessageScheduler::collect(net::HeartbeatMessage forwarded) {
   if (!params_.collect_between_windows && !own_) {
-    ++stats_.rejected;
+    rejected_ctr_->inc();
     return false;
   }
   if (collected_.size() >= params_.capacity) {
     // Shouldn't normally happen (we flush when k hits M), but guard it.
-    ++stats_.rejected;
+    rejected_ctr_->inc();
     return false;
   }
   collected_.push_back(std::move(forwarded));
-  ++stats_.collected;
+  collected_ctr_->inc();
   if (collected_.size() >= params_.capacity) {
     flush(FlushReason::capacity);
   } else {
@@ -118,10 +134,39 @@ void MessageScheduler::flush(FlushReason reason) {
   for (auto& m : collected_) batch.push_back(std::move(m));
   collected_.clear();
 
-  ++stats_.flushes;
-  stats_.flushed_messages += batch.size();
-  ++stats_.flushes_by_reason[static_cast<std::size_t>(reason)];
+  flush_ctrs_[static_cast<std::size_t>(reason)]->inc();
+  flushed_messages_ctr_->inc(batch.size());
+  bundle_size_->observe(static_cast<double>(batch.size()));
   on_flush_(std::move(batch), reason);
+}
+
+MessageScheduler::Stats MessageScheduler::stats() const {
+  Stats s;
+  s.windows = windows_ctr_->value();
+  s.collected = collected_ctr_->value();
+  s.rejected = rejected_ctr_->value();
+  s.flushed_messages = flushed_messages_ctr_->value();
+  for (std::size_t i = 0; i < 4; ++i) {
+    s.by_reason[i] = flush_ctrs_[i]->value();
+    s.flushes_total += s.by_reason[i];
+  }
+  return s;
+}
+
+metrics::StatsRow MessageScheduler::Stats::row() const {
+  return {
+      {"windows", static_cast<double>(windows)},
+      {"collected", static_cast<double>(collected)},
+      {"flushes", static_cast<double>(flushes())},
+      {"flushed_messages", static_cast<double>(flushed_messages)},
+      {"rejected", static_cast<double>(rejected)},
+      {"flushes_capacity", static_cast<double>(flushes(FlushReason::capacity))},
+      {"flushes_expiry", static_cast<double>(flushes(FlushReason::expiry))},
+      {"flushes_window_end",
+       static_cast<double>(flushes(FlushReason::window_end))},
+      {"flushes_forced", static_cast<double>(flushes(FlushReason::forced))},
+      {"mean_bundle_size", mean_bundle_size()},
+  };
 }
 
 }  // namespace d2dhb::core

@@ -17,15 +17,30 @@ UeAgent::UeAgent(sim::Simulator& sim, Phone& phone, Params params,
       bs_(bs),
       message_ids_(message_ids),
       detector_(params.match, rng),
-      feedback_(sim, params.feedback_timeout,
-                [this](const net::HeartbeatMessage& m) {
-                  ++stats_.fallback_cellular;
-                  trace(sim_.now(), TraceCategory::agent, phone_.id(),
-                        "fallback to cellular (heartbeat " +
-                            std::to_string(m.id.value) + ")");
-                  send_via_cellular(m, /*is_fallback=*/true);
-                }),
+      feedback_(
+          sim, params.feedback_timeout,
+          [this](const net::HeartbeatMessage& m) {
+            fallback_cellular_ctr_->inc();
+            trace(sim_.now(), TraceCategory::agent, phone_.id(),
+                  "fallback to cellular (heartbeat " +
+                      std::to_string(m.id.value) + ")");
+            send_via_cellular(m, /*is_fallback=*/true);
+          },
+          phone.id()),
       monitor_(sim, phone.id(), message_ids) {
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{phone_.id().value, -1, "ue"};
+  heartbeats_ctr_ = &reg.counter("ue.heartbeats", labels);
+  sent_via_d2d_ctr_ = &reg.counter("ue.sent_via_d2d", labels);
+  sent_via_cellular_ctr_ = &reg.counter("ue.sent_via_cellular", labels);
+  fallback_cellular_ctr_ = &reg.counter("ue.fallback_cellular", labels);
+  discoveries_ctr_ = &reg.counter("ue.discoveries", labels);
+  matches_ctr_ = &reg.counter("ue.matches", labels);
+  connects_ctr_ = &reg.counter("ue.connects", labels);
+  connect_failures_ctr_ = &reg.counter("ue.connect_failures", labels);
+  link_losses_ctr_ = &reg.counter("ue.link_losses", labels);
+  reassessments_ctr_ = &reg.counter("ue.reassessments", labels);
+  handovers_ctr_ = &reg.counter("ue.handovers", labels);
   monitor_.set_transport(
       [this](const net::HeartbeatMessage& m) { on_heartbeat(m); });
   add_app(params_.app);
@@ -66,7 +81,7 @@ void UeAgent::stop() {
 }
 
 void UeAgent::on_heartbeat(const net::HeartbeatMessage& message) {
-  ++stats_.heartbeats;
+  heartbeats_ctr_->inc();
   if (!params_.use_d2d) {
     send_via_cellular(message, /*is_fallback=*/false);
     return;
@@ -92,7 +107,7 @@ void UeAgent::on_heartbeat(const net::HeartbeatMessage& message) {
 
 void UeAgent::begin_discovery() {
   state_ = LinkState::discovering;
-  ++stats_.discoveries;
+  discoveries_ctr_->inc();
   phone_.wifi().start_discovery(
       [this](const std::vector<d2d::DiscoveredPeer>& peers) {
         on_discovery(peers);
@@ -107,7 +122,7 @@ void UeAgent::on_discovery(const std::vector<d2d::DiscoveredPeer>& peers) {
     fail_d2d_attempt();
     return;
   }
-  ++stats_.matches;
+  matches_ctr_->inc();
   trace(sim_.now(), TraceCategory::agent, phone_.id(),
         "matched relay #" + std::to_string(choice->node.value) + " at ~" +
             std::to_string(choice->estimated_distance.value) + " m");
@@ -116,11 +131,11 @@ void UeAgent::on_discovery(const std::vector<d2d::DiscoveredPeer>& peers) {
                                           Result<GroupId> result) {
     if (!running_) return;
     if (!result.ok()) {
-      ++stats_.connect_failures;
+      connect_failures_ctr_->inc();
       fail_d2d_attempt();
       return;
     }
-    ++stats_.connects;
+    connects_ctr_->inc();
     state_ = LinkState::connected;
     relay_ = relay;
     current_backoff_ = Duration::zero();  // success resets the backoff
@@ -155,7 +170,7 @@ void UeAgent::drain_queue_to_cellular() {
 void UeAgent::send_via_d2d(net::HeartbeatMessage message) {
   // Track before sending: the feedback covers the BS hop as well.
   feedback_.track(message);
-  ++stats_.sent_via_d2d;
+  sent_via_d2d_ctr_->inc();
   phone_.wifi().send(relay_, net::D2dPayload{std::move(message)},
                      [this](Status status) {
                        if (!status.ok()) {
@@ -170,7 +185,7 @@ void UeAgent::send_via_d2d(net::HeartbeatMessage message) {
 
 void UeAgent::send_via_cellular(const net::HeartbeatMessage& message,
                                 bool is_fallback) {
-  if (!is_fallback) ++stats_.sent_via_cellular;
+  if (!is_fallback) sent_via_cellular_ctr_->inc();
   net::UplinkBundle bundle;
   bundle.sender = phone_.id();
   bundle.messages = {message};
@@ -199,12 +214,12 @@ void UeAgent::on_link_lost(NodeId peer) {
     phone_.wifi().connect(target, [this, target](Result<GroupId> result) {
       if (!running_) return;
       if (!result.ok()) {
-        ++stats_.connect_failures;
+        connect_failures_ctr_->inc();
         fail_d2d_attempt();
         return;
       }
-      ++stats_.connects;
-      ++stats_.handovers;
+      connects_ctr_->inc();
+      handovers_ctr_->inc();
       trace(sim_.now(), TraceCategory::agent, phone_.id(),
             "handover to relay #" + std::to_string(target.value));
       state_ = LinkState::connected;
@@ -216,12 +231,12 @@ void UeAgent::on_link_lost(NodeId peer) {
     });
     return;
   }
-  ++stats_.link_losses;
+  link_losses_ctr_->inc();
 }
 
 void UeAgent::reassess() {
   if (!running_ || state_ != LinkState::connected) return;
-  ++stats_.reassessments;
+  reassessments_ctr_->inc();
   phone_.wifi().start_discovery(
       [this](const std::vector<d2d::DiscoveredPeer>& peers) {
         if (!running_ || state_ != LinkState::connected) return;
@@ -247,6 +262,38 @@ void UeAgent::reassess() {
         handover_target_ = candidate->node;
         phone_.wifi().disconnect(relay_);
       });
+}
+
+UeAgent::Stats UeAgent::stats() const {
+  Stats s;
+  s.heartbeats = heartbeats_ctr_->value();
+  s.sent_via_d2d = sent_via_d2d_ctr_->value();
+  s.sent_via_cellular = sent_via_cellular_ctr_->value();
+  s.fallback_cellular = fallback_cellular_ctr_->value();
+  s.discoveries = discoveries_ctr_->value();
+  s.matches = matches_ctr_->value();
+  s.connects = connects_ctr_->value();
+  s.connect_failures = connect_failures_ctr_->value();
+  s.link_losses = link_losses_ctr_->value();
+  s.reassessments = reassessments_ctr_->value();
+  s.handovers = handovers_ctr_->value();
+  return s;
+}
+
+metrics::StatsRow UeAgent::Stats::row() const {
+  return {
+      {"heartbeats", static_cast<double>(heartbeats)},
+      {"sent_via_d2d", static_cast<double>(sent_via_d2d)},
+      {"sent_via_cellular", static_cast<double>(sent_via_cellular)},
+      {"fallback_cellular", static_cast<double>(fallback_cellular)},
+      {"discoveries", static_cast<double>(discoveries)},
+      {"matches", static_cast<double>(matches)},
+      {"connects", static_cast<double>(connects)},
+      {"connect_failures", static_cast<double>(connect_failures)},
+      {"link_losses", static_cast<double>(link_losses)},
+      {"reassessments", static_cast<double>(reassessments)},
+      {"handovers", static_cast<double>(handovers)},
+  };
 }
 
 }  // namespace d2dhb::core

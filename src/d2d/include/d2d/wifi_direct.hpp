@@ -19,6 +19,7 @@
 #include "d2d/energy_profile.hpp"
 #include "d2d/medium.hpp"
 #include "energy/energy_meter.hpp"
+#include "metrics/registry.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -138,6 +139,13 @@ class WifiDirectRadio {
   sim::PeriodicTimer link_monitor_;
   ReceiveHandler on_receive_;
   DisconnectHandler on_disconnect_;
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* discovery_scans_ctr_;
+  metrics::Counter* links_established_ctr_;
+  metrics::Counter* links_broken_ctr_;
+  metrics::Counter* sends_ctr_;
+  metrics::Counter* transfer_bytes_ctr_;
 
   static inline std::uint64_t next_group_{1};
 };

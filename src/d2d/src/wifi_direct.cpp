@@ -22,6 +22,15 @@ WifiDirectRadio::WifiDirectRadio(sim::Simulator& sim, NodeId owner,
       rng_(rng),
       link_monitor_(sim, seconds(1), [this] { poll_links(); }) {
   medium_.attach(*this, mobility_);
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{owner_.value, -1, "wifi_direct"};
+  discovery_scans_ctr_ = &reg.counter("d2d.discovery_scans", labels);
+  links_established_ctr_ = &reg.counter("d2d.links_established", labels);
+  links_broken_ctr_ = &reg.counter("d2d.links_broken", labels);
+  sends_ctr_ = &reg.counter("d2d.sends", labels);
+  transfer_bytes_ctr_ = &reg.counter("d2d.transfer_bytes", labels);
+  reg.gauge_fn("energy.wifi_direct_uah", labels,
+               [this] { return radio_charge().value; });
 }
 
 WifiDirectRadio::~WifiDirectRadio() {
@@ -50,6 +59,7 @@ void WifiDirectRadio::update_idle_current() {
 }
 
 void WifiDirectRadio::start_discovery(DiscoveryCallback callback) {
+  discovery_scans_ctr_->inc();
   charge_phase(D2dEnergyProfile::discovery_shape(), profile_.ue_discovery);
   // Listening peers spend passive-discovery energy responding to probes
   // — once per response window, no matter how many peers scan at once.
@@ -138,6 +148,7 @@ void WifiDirectRadio::establish_link(NodeId peer, GroupId group,
             std::to_string(group.value) +
             (as_owner ? ", owner)" : ", client)"));
   links_[peer] = group;
+  links_established_ctr_->inc();
   group_ = group;
   group_owner_ = as_owner;
   update_idle_current();
@@ -150,6 +161,7 @@ void WifiDirectRadio::break_link(NodeId peer, bool notify_peer) {
   trace(sim_.now(), TraceCategory::d2d, owner_,
         "link down with #" + std::to_string(peer.value));
   links_.erase(it);
+  links_broken_ctr_->inc();
   if (links_.empty()) {
     group_ = GroupId{};
     group_owner_ = false;
@@ -196,7 +208,9 @@ void WifiDirectRadio::send(NodeId peer, net::D2dPayload payload,
     callback(Status{Errc::disconnected, "peer out of range"});
     return;
   }
+  sends_ctr_->inc();
   if (const auto* hb = std::get_if<net::HeartbeatMessage>(&payload)) {
+    transfer_bytes_ctr_->inc(hb->size.value);
     const Meters d = medium_.distance(owner_, peer);
     charge_phase(D2dEnergyProfile::send_shape(),
                  profile_.send_charge(hb->size, d));

@@ -1,0 +1,223 @@
+// Unified metrics registry — the observability substrate.
+//
+// One MetricsRegistry per simulated world (owned by the Simulator) holds
+// every named counter, gauge, fixed-bucket histogram, and time-series
+// sampler the substrates register, keyed by hierarchical labels
+// (node, cell, component). Substrates register once at construction and
+// cache the returned reference — an increment is then a single pointer
+// chase, so always-on counting stays off the simulator's hot path.
+// Samplers are zero-overhead when sampling is disabled (one bool load).
+//
+// snapshot() materializes the whole tree in deterministic (name, node,
+// cell, component) order; because every simulation is a pure function of
+// (config, seed), snapshots — and their JSON/CSV exports — are
+// byte-identical across thread counts.
+//
+// Lifetime: the registry owns the metric objects and outlives the
+// substrates that registered them (the Simulator is always constructed
+// first and destroyed last). Callback gauges hold references into their
+// registering object; take snapshots while the world is alive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace d2dhb::metrics {
+
+/// Hierarchical label set identifying one series of a named metric.
+/// Unset dimensions (node 0, cell -1, empty component) are omitted from
+/// exports.
+struct Labels {
+  std::uint64_t node{0};
+  std::int64_t cell{-1};
+  std::string component{};
+
+  auto operator<=>(const Labels&) const = default;
+};
+
+enum class Kind : std::uint8_t { counter, gauge, histogram, sampler };
+
+const char* to_string(Kind kind);
+
+/// One (field, value) cell of a Stats row.
+struct StatsField {
+  std::string name;
+  double value{0.0};
+};
+
+/// Uniform row shape shared by every substrate's `Stats::row()` — one
+/// flat schema that tables, benches, and exports can consume without
+/// knowing the concrete Stats type.
+using StatsRow = std::vector<StatsField>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Point-in-time value. Either set explicitly or backed by a callback
+/// evaluated at snapshot time (for quantities that live elsewhere, like
+/// accumulated charge in an EnergyMeter).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return fn_ ? fn_() : value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_{0.0};
+  std::function<double()> fn_;
+};
+
+/// Fixed-bucket distribution. Buckets are cumulative-style upper bounds
+/// (value <= bound); one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
+/// Time series of (seconds, value) points. Records only while the
+/// registry's sampling switch is on; a disabled sampler costs one branch.
+class Sampler {
+ public:
+  struct Sample {
+    double t{0.0};
+    double v{0.0};
+    auto operator<=>(const Sample&) const = default;
+  };
+
+  void sample(TimePoint when, double value) {
+    if (!*enabled_) return;
+    samples_.push_back(Sample{to_seconds(when), value});
+  }
+  bool enabled() const { return *enabled_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Sampler(const bool* enabled) : enabled_(enabled) {}
+
+  const bool* enabled_;
+  std::vector<Sample> samples_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+  std::uint64_t count{0};
+  double sum{0.0};
+};
+
+/// One materialized metric series.
+struct SnapshotEntry {
+  std::string name;
+  Labels labels;
+  Kind kind{Kind::counter};
+  std::uint64_t count{0};     ///< Counters.
+  double value{0.0};          ///< Gauges.
+  HistogramSnapshot histogram;
+  std::vector<Sampler::Sample> samples;
+};
+
+/// Deterministic point-in-time view of a registry: entries sorted by
+/// (name, node, cell, component). Values are plain data — safe to move
+/// across threads, aggregate, and export after the world is gone.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  const SnapshotEntry* find(std::string_view name,
+                            const Labels& labels = {}) const;
+  /// Counter value for one series; 0 if absent.
+  std::uint64_t counter(std::string_view name,
+                        const Labels& labels = {}) const;
+  /// Gauge value for one series; 0.0 if absent.
+  double gauge(std::string_view name, const Labels& labels = {}) const;
+  /// Sum of a counter across every label set it was registered under.
+  std::uint64_t counter_total(std::string_view name) const;
+  /// Sum of a gauge across every label set it was registered under.
+  double gauge_total(std::string_view name) const;
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// Element-wise aggregation: counters, gauges, and histograms sum across
+/// parts (matching on name + labels + kind); sampler series concatenate
+/// in part order. Entry order stays deterministic.
+Snapshot merge(const std::vector<Snapshot>& parts);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a metric. Re-registering the same
+  /// (name, labels) returns the same object, so substrates recreated
+  /// within one world keep accumulating into one series. Registering an
+  /// existing key as a different kind throws std::logic_error.
+  Counter& counter(std::string name, Labels labels = {});
+  Gauge& gauge(std::string name, Labels labels = {});
+  /// Callback-backed gauge, evaluated at snapshot time. Re-registering
+  /// replaces the callback (so a recreated object rebinds cleanly).
+  Gauge& gauge_fn(std::string name, Labels labels,
+                  std::function<double()> fn);
+  Histogram& histogram(std::string name, std::vector<double> bounds,
+                       Labels labels = {});
+  Sampler& sampler(std::string name, Labels labels = {});
+
+  /// Master switch for time-series samplers (off by default).
+  void set_sampling_enabled(bool on) { sampling_enabled_ = on; }
+  bool sampling_enabled() const { return sampling_enabled_; }
+
+  std::size_t size() const { return metrics_.size(); }
+
+  Snapshot snapshot() const;
+
+ private:
+  using Key = std::tuple<std::string, std::uint64_t, std::int64_t,
+                         std::string>;  // name, node, cell, component
+  using Metric = std::variant<Counter, Gauge, Histogram, Sampler>;
+
+  static Key key_of(std::string name, const Labels& labels) {
+    return Key{std::move(name), labels.node, labels.cell, labels.component};
+  }
+  template <typename T>
+  T& find_or_insert(std::string name, const Labels& labels, T prototype);
+
+  std::map<Key, Metric> metrics_;
+  bool sampling_enabled_{false};
+};
+
+}  // namespace d2dhb::metrics

@@ -1,0 +1,153 @@
+#include "metrics/export.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace d2dhb::metrics {
+
+namespace {
+
+void write_labels(const Labels& labels, std::ostream& os) {
+  os << '{';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  if (labels.node != 0) {
+    sep();
+    os << "\"node\":" << json::number(labels.node);
+  }
+  if (labels.cell >= 0) {
+    sep();
+    os << "\"cell\":" << json::number(labels.cell);
+  }
+  if (!labels.component.empty()) {
+    sep();
+    os << "\"component\":\"" << json::escape(labels.component) << '"';
+  }
+  os << '}';
+}
+
+void write_entry(const SnapshotEntry& e, std::ostream& os) {
+  os << "{\"name\":\"" << json::escape(e.name) << "\",\"kind\":\""
+     << to_string(e.kind) << "\",\"labels\":";
+  write_labels(e.labels, os);
+  switch (e.kind) {
+    case Kind::counter:
+      os << ",\"value\":" << json::number(e.count);
+      break;
+    case Kind::gauge:
+      os << ",\"value\":" << json::number(e.value);
+      break;
+    case Kind::histogram: {
+      os << ",\"count\":" << json::number(e.histogram.count)
+         << ",\"sum\":" << json::number(e.histogram.sum) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < e.histogram.counts.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "{\"le\":";
+        if (i < e.histogram.bounds.size()) {
+          os << json::number(e.histogram.bounds[i]);
+        } else {
+          os << "\"inf\"";
+        }
+        os << ",\"count\":" << json::number(e.histogram.counts[i]) << '}';
+      }
+      os << ']';
+      break;
+    }
+    case Kind::sampler: {
+      os << ",\"samples\":[";
+      for (std::size_t i = 0; i < e.samples.size(); ++i) {
+        if (i > 0) os << ',';
+        os << '[' << json::number(e.samples[i].t) << ','
+           << json::number(e.samples[i].v) << ']';
+      }
+      os << ']';
+      break;
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void export_json(const Snapshot& snapshot, std::ostream& os) {
+  os << "{\"schema\":\"d2dhb.metrics.v1\",\"metrics\":[";
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "\n";
+    write_entry(snapshot.entries[i], os);
+  }
+  os << "\n]}";
+}
+
+void export_csv(const Snapshot& snapshot, std::ostream& os) {
+  os << "name,kind,node,cell,component,value,count,sum\n";
+  for (const SnapshotEntry& e : snapshot.entries) {
+    os << e.name << ',' << to_string(e.kind) << ',';
+    if (e.labels.node != 0) os << e.labels.node;
+    os << ',';
+    if (e.labels.cell >= 0) os << e.labels.cell;
+    os << ',' << e.labels.component << ',';
+    switch (e.kind) {
+      case Kind::counter:
+        os << json::number(e.count) << ',' << json::number(e.count) << ",";
+        break;
+      case Kind::gauge:
+        os << json::number(e.value) << ",,";
+        break;
+      case Kind::histogram:
+        os << json::number(e.histogram.count == 0
+                               ? 0.0
+                               : e.histogram.sum /
+                                     static_cast<double>(e.histogram.count))
+           << ',' << json::number(e.histogram.count) << ','
+           << json::number(e.histogram.sum);
+        break;
+      case Kind::sampler:
+        os << json::number(static_cast<std::uint64_t>(e.samples.size()))
+           << ',' << json::number(static_cast<std::uint64_t>(e.samples.size()))
+           << ",";
+        break;
+    }
+    os << '\n';
+  }
+}
+
+void export_json_report(const NamedSnapshots& sections, std::ostream& os) {
+  os << "{\"schema\":\"d2dhb.metrics-report.v1\",\"runs\":[";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "\n{\"label\":\"" << json::escape(sections[i].first)
+       << "\",\"metrics\":";
+    export_json(sections[i].second, os);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool write_report(const NamedSnapshots& sections, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write metrics to " << path << '\n';
+    return false;
+  }
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    for (const auto& [label, snapshot] : sections) {
+      out << "# " << label << '\n';
+      export_csv(snapshot, out);
+    }
+  } else {
+    export_json_report(sections, out);
+  }
+  return true;
+}
+
+}  // namespace d2dhb::metrics

@@ -1,0 +1,185 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace d2dhb::metrics {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::counter: return "counter";
+    case Kind::gauge: return "gauge";
+    case Kind::histogram: return "histogram";
+    case Kind::sampler: return "sampler";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_insert(std::string name, const Labels& labels,
+                                   T prototype) {
+  const auto [it, inserted] =
+      metrics_.try_emplace(key_of(std::move(name), labels),
+                           Metric{std::move(prototype)});
+  T* existing = std::get_if<T>(&it->second);
+  if (existing == nullptr) {
+    throw std::logic_error("MetricsRegistry: '" + std::get<0>(it->first) +
+                           "' already registered as a different kind");
+  }
+  return *existing;
+}
+
+Counter& MetricsRegistry::counter(std::string name, Labels labels) {
+  return find_or_insert(std::move(name), labels, Counter{});
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, Labels labels) {
+  return find_or_insert(std::move(name), labels, Gauge{});
+}
+
+Gauge& MetricsRegistry::gauge_fn(std::string name, Labels labels,
+                                 std::function<double()> fn) {
+  Gauge& g = find_or_insert(std::move(name), labels, Gauge{});
+  g.fn_ = std::move(fn);
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string name,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  return find_or_insert(std::move(name), labels,
+                        Histogram{std::move(bounds)});
+}
+
+Sampler& MetricsRegistry::sampler(std::string name, Labels labels) {
+  return find_or_insert(std::move(name), labels,
+                        Sampler{&sampling_enabled_});
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.entries.reserve(metrics_.size());
+  for (const auto& [key, metric] : metrics_) {
+    SnapshotEntry entry;
+    entry.name = std::get<0>(key);
+    entry.labels =
+        Labels{std::get<1>(key), std::get<2>(key), std::get<3>(key)};
+    if (const auto* c = std::get_if<Counter>(&metric)) {
+      entry.kind = Kind::counter;
+      entry.count = c->value();
+    } else if (const auto* g = std::get_if<Gauge>(&metric)) {
+      entry.kind = Kind::gauge;
+      entry.value = g->value();
+    } else if (const auto* h = std::get_if<Histogram>(&metric)) {
+      entry.kind = Kind::histogram;
+      entry.histogram = HistogramSnapshot{h->bounds(), h->bucket_counts(),
+                                          h->count(), h->sum()};
+    } else if (const auto* s = std::get_if<Sampler>(&metric)) {
+      entry.kind = Kind::sampler;
+      entry.samples = s->samples();
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+const SnapshotEntry* Snapshot::find(std::string_view name,
+                                    const Labels& labels) const {
+  for (const auto& e : entries) {
+    if (e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name,
+                                const Labels& labels) const {
+  const SnapshotEntry* e = find(name, labels);
+  return e != nullptr && e->kind == Kind::counter ? e->count : 0;
+}
+
+double Snapshot::gauge(std::string_view name, const Labels& labels) const {
+  const SnapshotEntry* e = find(name, labels);
+  return e != nullptr && e->kind == Kind::gauge ? e->value : 0.0;
+}
+
+std::uint64_t Snapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries) {
+    if (e.kind == Kind::counter && e.name == name) total += e.count;
+  }
+  return total;
+}
+
+double Snapshot::gauge_total(std::string_view name) const {
+  double total = 0.0;
+  for (const auto& e : entries) {
+    if (e.kind == Kind::gauge && e.name == name) total += e.value;
+  }
+  return total;
+}
+
+Snapshot merge(const std::vector<Snapshot>& parts) {
+  // Keyed accumulation keeps the deterministic sorted order regardless
+  // of which parts contribute which series.
+  std::map<std::tuple<std::string, std::uint64_t, std::int64_t, std::string>,
+           SnapshotEntry>
+      merged;
+  for (const Snapshot& part : parts) {
+    for (const SnapshotEntry& e : part.entries) {
+      const auto key = std::make_tuple(e.name, e.labels.node, e.labels.cell,
+                                       e.labels.component);
+      auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, e);
+        continue;
+      }
+      SnapshotEntry& acc = it->second;
+      if (acc.kind != e.kind) {
+        throw std::logic_error("metrics::merge: kind mismatch for '" +
+                               e.name + "'");
+      }
+      switch (e.kind) {
+        case Kind::counter: acc.count += e.count; break;
+        case Kind::gauge: acc.value += e.value; break;
+        case Kind::histogram: {
+          if (acc.histogram.bounds != e.histogram.bounds) {
+            throw std::logic_error(
+                "metrics::merge: histogram bounds mismatch for '" + e.name +
+                "'");
+          }
+          for (std::size_t i = 0; i < acc.histogram.counts.size(); ++i) {
+            acc.histogram.counts[i] += e.histogram.counts[i];
+          }
+          acc.histogram.count += e.histogram.count;
+          acc.histogram.sum += e.histogram.sum;
+          break;
+        }
+        case Kind::sampler:
+          acc.samples.insert(acc.samples.end(), e.samples.begin(),
+                             e.samples.end());
+          break;
+      }
+    }
+  }
+  Snapshot out;
+  out.entries.reserve(merged.size());
+  for (auto& [key, entry] : merged) out.entries.push_back(std::move(entry));
+  return out;
+}
+
+}  // namespace d2dhb::metrics

@@ -12,6 +12,7 @@
 
 #include "common/id.hpp"
 #include "common/units.hpp"
+#include "metrics/registry.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -19,7 +20,7 @@ namespace d2dhb::net {
 
 class ImServer {
  public:
-  explicit ImServer(sim::Simulator& sim) : sim_(sim) {}
+  explicit ImServer(sim::Simulator& sim);
 
   /// Registers a client session. `expiry` is the server-side tolerance:
   /// the client is considered offline if no heartbeat lands within
@@ -72,6 +73,13 @@ class ImServer {
   sim::Simulator& sim_;
   std::map<Key, SessionStats> sessions_;
   std::map<Key, Duration> expiries_;
+
+  // Registry-backed aggregate counters (per-session detail stays in
+  // sessions_; these feed the exported metrics tree).
+  metrics::Counter* delivered_ctr_;
+  metrics::Counter* on_time_ctr_;
+  metrics::Counter* late_ctr_;
+  metrics::Counter* offline_events_ctr_;
 };
 
 }  // namespace d2dhb::net

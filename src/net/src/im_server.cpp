@@ -4,6 +4,15 @@
 
 namespace d2dhb::net {
 
+ImServer::ImServer(sim::Simulator& sim) : sim_(sim) {
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{0, -1, "im_server"};
+  delivered_ctr_ = &reg.counter("server.delivered", labels);
+  on_time_ctr_ = &reg.counter("server.on_time", labels);
+  late_ctr_ = &reg.counter("server.late", labels);
+  offline_events_ctr_ = &reg.counter("server.offline_events", labels);
+}
+
 void ImServer::register_client(NodeId node, AppId app, Duration expiry) {
   const Key key{node, app};
   SessionStats stats;
@@ -23,12 +32,16 @@ void ImServer::deliver(const HeartbeatMessage& message) {
   SessionStats& s = it->second;
   const TimePoint now = sim_.now();
   ++s.delivered;
+  delivered_ctr_->inc();
   if (now >= message.created_at) s.total_latency += now - message.created_at;
   if (now <= s.deadline) {
     ++s.on_time;
+    on_time_ctr_->inc();
   } else {
     ++s.late;
     ++s.offline_events;
+    late_ctr_->inc();
+    offline_events_ctr_->inc();
     s.total_offline += now - s.deadline;
   }
   // A delivered heartbeat resets the expiration timer from now.

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "metrics/registry.hpp"
 #include "net/channel.hpp"
 #include "net/im_server.hpp"
 #include "radio/signaling.hpp"
@@ -15,8 +16,10 @@ namespace d2dhb::radio {
 
 class BaseStation {
  public:
+  /// `cell` labels this station's metrics (site index in multi-cell
+  /// scenarios; 0 for single-cell setups).
   BaseStation(sim::Simulator& sim, net::ImServer& server,
-              net::Channel::Params backhaul, Rng rng);
+              net::Channel::Params backhaul, Rng rng, std::size_t cell = 0);
 
   /// Uplink entry point — wire this as every modem's UplinkHandler.
   void receive(const net::UplinkBundle& bundle);
@@ -24,16 +27,22 @@ class BaseStation {
   SignalingCounter& signaling() { return signaling_; }
   const SignalingCounter& signaling() const { return signaling_; }
 
-  std::uint64_t bundles_received() const { return bundles_; }
-  std::uint64_t heartbeats_received() const { return heartbeats_; }
-  std::uint64_t bytes_received() const { return bytes_; }
+  std::size_t cell() const { return cell_; }
+  std::uint64_t bundles_received() const { return bundles_ctr_->value(); }
+  std::uint64_t heartbeats_received() const {
+    return heartbeats_ctr_->value();
+  }
+  std::uint64_t bytes_received() const { return bytes_ctr_->value(); }
 
  private:
   net::Channel backhaul_;
   SignalingCounter signaling_;
-  std::uint64_t bundles_{0};
-  std::uint64_t heartbeats_{0};
-  std::uint64_t bytes_{0};
+  std::size_t cell_;
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* bundles_ctr_;
+  metrics::Counter* heartbeats_ctr_;
+  metrics::Counter* bytes_ctr_;
 };
 
 }  // namespace d2dhb::radio

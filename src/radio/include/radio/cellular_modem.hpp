@@ -13,6 +13,7 @@
 #include "common/id.hpp"
 #include "common/units.hpp"
 #include "energy/energy_meter.hpp"
+#include "metrics/registry.hpp"
 #include "net/message.hpp"
 #include "radio/rrc_profile.hpp"
 #include "radio/signaling.hpp"
@@ -57,8 +58,9 @@ class CellularModem {
   /// Cumulative charge drawn by the cellular component.
   MicroAmpHours radio_charge() { return meter_.component_charge(component_); }
 
-  std::uint64_t bundles_sent() const { return bundles_sent_; }
-  std::uint64_t rrc_promotions() const { return promotions_; }
+  std::uint64_t bundles_sent() const { return bundles_sent_ctr_->value(); }
+  std::uint64_t rrc_promotions() const { return promotions_ctr_->value(); }
+  std::uint64_t rrc_transitions() const { return transitions_ctr_->value(); }
 
   /// Drops the radio to IDLE immediately (airplane mode / network loss).
   /// Queued bundles are discarded; used by failure-injection tests.
@@ -84,9 +86,13 @@ class CellularModem {
   bool fast_dormancy_{false};
   std::deque<net::UplinkBundle> queue_;
   sim::EventId inactivity_event_{};
-  std::uint64_t bundles_sent_{0};
-  std::uint64_t promotions_{0};
   std::uint64_t epoch_{0};  ///< Invalidates in-flight events on force_idle().
+
+  // Registry-backed counters (owned by the simulator's registry).
+  metrics::Counter* bundles_sent_ctr_;
+  metrics::Counter* promotions_ctr_;
+  metrics::Counter* transitions_ctr_;
+  metrics::Sampler* state_sampler_;
 };
 
 }  // namespace d2dhb::radio

@@ -3,16 +3,24 @@
 namespace d2dhb::radio {
 
 BaseStation::BaseStation(sim::Simulator& sim, net::ImServer& server,
-                         net::Channel::Params backhaul, Rng rng)
-    : backhaul_(sim, backhaul, rng) {
+                         net::Channel::Params backhaul, Rng rng,
+                         std::size_t cell)
+    : backhaul_(sim, backhaul, rng), cell_(cell) {
   backhaul_.set_receiver(
       [&server](const net::UplinkBundle& bundle) { server.deliver(bundle); });
+  auto& reg = sim.metrics();
+  const metrics::Labels labels{0, static_cast<std::int64_t>(cell_), "bs"};
+  bundles_ctr_ = &reg.counter("bs.bundles_received", labels);
+  heartbeats_ctr_ = &reg.counter("bs.heartbeats_received", labels);
+  bytes_ctr_ = &reg.counter("bs.bytes_received", labels);
+  reg.gauge_fn("signaling.l3_total", labels,
+               [this] { return static_cast<double>(signaling_.total()); });
 }
 
 void BaseStation::receive(const net::UplinkBundle& bundle) {
-  ++bundles_;
-  heartbeats_ += bundle.messages.size();
-  bytes_ += bundle.payload_size().value;
+  bundles_ctr_->inc();
+  heartbeats_ctr_->inc(bundle.messages.size());
+  bytes_ctr_->inc(bundle.payload_size().value);
   backhaul_.send(bundle);
 }
 

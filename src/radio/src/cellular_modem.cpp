@@ -28,7 +28,16 @@ CellularModem::CellularModem(sim::Simulator& sim, NodeId owner,
       meter_(meter),
       component_(meter.register_component("cellular:" + profile_.name,
                                           profile_.idle_current)),
-      signaling_(signaling) {}
+      signaling_(signaling) {
+  auto& reg = sim_.metrics();
+  const metrics::Labels labels{owner_.value, -1, "cellular"};
+  bundles_sent_ctr_ = &reg.counter("cellular.bundles_sent", labels);
+  promotions_ctr_ = &reg.counter("rrc.promotions", labels);
+  transitions_ctr_ = &reg.counter("rrc.transitions", labels);
+  state_sampler_ = &reg.sampler("rrc.state", labels);
+  reg.gauge_fn("energy.cellular_uah", {owner_.value, -1, "cellular"},
+               [this] { return radio_charge().value; });
+}
 
 MilliAmps CellularModem::state_current(RrcState s) const {
   switch (s) {
@@ -46,6 +55,8 @@ void CellularModem::enter(RrcState next) {
   if (next != state_) {
     trace(sim_.now(), TraceCategory::rrc, owner_,
           std::string(to_string(state_)) + " -> " + to_string(next));
+    transitions_ctr_->inc();
+    state_sampler_->sample(sim_.now(), static_cast<double>(next));
   }
   state_ = next;
   meter_.set_current(component_, state_current(next));
@@ -57,7 +68,7 @@ void CellularModem::transmit(net::UplinkBundle bundle) {
     case RrcState::idle: {
       // Full RRC connection establishment.
       signaling_.record_sequence(sim_.now(), owner_, profile_.setup_sequence);
-      ++promotions_;
+      promotions_ctr_->inc();
       enter(RrcState::promoting);
       const std::uint64_t epoch = epoch_;
       sim_.schedule_after(profile_.promotion_delay, [this, epoch] {
@@ -122,7 +133,7 @@ void CellularModem::start_next_burst() {
   const std::uint64_t epoch = epoch_;
   sim_.schedule_after(burst, [this, epoch, bundle = std::move(bundle)] {
     if (epoch != epoch_) return;
-    ++bundles_sent_;
+    bundles_sent_ctr_->inc();
     enter(RrcState::high);
     if (uplink_) uplink_(bundle);
     start_next_burst();

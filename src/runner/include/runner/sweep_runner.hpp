@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "metrics/registry.hpp"
 #include "runner/aggregate.hpp"
 #include "runner/parallel.hpp"
 
@@ -41,6 +42,7 @@ class SweepRunner {
  public:
   using RunFn = std::function<Metrics(const Config&, std::uint64_t seed)>;
   using ExtractFn = std::function<double(const Metrics&)>;
+  using SnapshotFn = std::function<metrics::Snapshot(const Metrics&)>;
 
   struct Result {
     std::vector<std::string> point_labels;
@@ -49,6 +51,10 @@ class SweepRunner {
     std::vector<std::vector<Metrics>> cells;
     /// samples[point][metric][seed_index] — extracted metric values.
     std::vector<std::vector<std::vector<double>>> samples;
+    /// snapshots[point][seed_index] — per-cell registry snapshots, in the
+    /// same fixed (point-major, seed-minor) order as `cells`. Empty
+    /// unless the sweep declared a snapshot() extractor.
+    std::vector<std::vector<metrics::Snapshot>> snapshots;
 
     Aggregate aggregate(std::size_t point, std::size_t metric) const {
       return summarize(samples.at(point).at(metric));
@@ -56,6 +62,23 @@ class SweepRunner {
     /// The standard long-format aggregation table (see sweep_table()).
     Table table(int decimals = 3) const {
       return sweep_table(point_labels, metric_names, samples, decimals);
+    }
+    /// One snapshot per point, merged across seeds (counters and
+    /// histograms sum; walks cells in the fixed order, so the result is
+    /// deterministic for any thread count).
+    metrics::Snapshot merged_snapshot(std::size_t point) const {
+      return metrics::merge(snapshots.at(point));
+    }
+    /// (label, merged snapshot) per point — the shape
+    /// metrics::write_report() takes.
+    std::vector<std::pair<std::string, metrics::Snapshot>>
+    labeled_snapshots() const {
+      std::vector<std::pair<std::string, metrics::Snapshot>> sections;
+      sections.reserve(snapshots.size());
+      for (std::size_t p = 0; p < snapshots.size(); ++p) {
+        sections.emplace_back(point_labels.at(p), merged_snapshot(p));
+      }
+      return sections;
     }
   };
 
@@ -77,6 +100,13 @@ class SweepRunner {
   SweepRunner& metric(std::string name, ExtractFn extract) {
     metric_names_.push_back(std::move(name));
     extractors_.push_back(std::move(extract));
+    return *this;
+  }
+  /// Declares how to pull the registry snapshot out of a cell's metrics
+  /// struct (usually `[](const M& m) { return m.metrics; }`). Once set,
+  /// Result::snapshots is populated alongside the table samples.
+  SweepRunner& snapshot(SnapshotFn extract) {
+    snapshot_ = std::move(extract);
     return *this;
   }
 
@@ -114,6 +144,13 @@ class SweepRunner {
           result.samples[p][m].push_back(extractors_[m](cell));
         }
       }
+      if (snapshot_) {
+        result.snapshots.resize(configs_.size());
+        result.snapshots[p].reserve(n_seeds);
+        for (const Metrics& cell : result.cells[p]) {
+          result.snapshots[p].push_back(snapshot_(cell));
+        }
+      }
     }
     return result;
   }
@@ -125,6 +162,7 @@ class SweepRunner {
   std::vector<std::uint64_t> seeds_{1};
   std::vector<std::string> metric_names_;
   std::vector<ExtractFn> extractors_;
+  SnapshotFn snapshot_;
   std::size_t threads_{0};
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/app_profile.hpp"
+#include "metrics/registry.hpp"
 
 namespace d2dhb::scenario {
 
@@ -35,6 +36,8 @@ struct StrategyMetrics {
   double offline_detection_s{0.0};
   /// Strategy-specific notes (piggyback share etc.).
   std::string note;
+  /// Full registry snapshot taken at the end of the run.
+  metrics::Snapshot metrics;
 };
 
 StrategyMetrics run_baseline_original(const BaselineConfig& config);

@@ -14,6 +14,7 @@
 
 #include "common/units.hpp"
 #include "d2d/technology.hpp"
+#include "metrics/registry.hpp"
 #include "net/im_server.hpp"
 
 namespace d2dhb::scenario {
@@ -66,6 +67,8 @@ struct PairMetrics {
   std::uint64_t link_losses{0};
   net::ImServer::Totals server;
   double relay_credits{0.0};
+  /// Full registry snapshot taken at the end of the run.
+  metrics::Snapshot metrics;
 };
 
 /// Runs the D2D framework on the configured pair/star topology.

@@ -13,6 +13,7 @@
 #include "apps/app_profile.hpp"
 #include "core/detector.hpp"
 #include "core/operator_selection.hpp"
+#include "metrics/registry.hpp"
 #include "net/im_server.hpp"
 
 namespace d2dhb::scenario {
@@ -67,6 +68,9 @@ struct CrowdMetrics {
   /// Fraction of UEs within D2D matching range of a relay at layout
   /// time (only meaningful when operator selection ran).
   double relay_coverage{0.0};
+  /// Full registry snapshot taken at the end of the run (every counter,
+  /// gauge, and histogram the substrates registered).
+  metrics::Snapshot metrics;
 };
 
 CrowdMetrics run_d2d_crowd(const CrowdConfig& config);

@@ -15,6 +15,7 @@
 #include "core/relay_agent.hpp"
 #include "core/ue_agent.hpp"
 #include "d2d/medium.hpp"
+#include "metrics/registry.hpp"
 #include "net/im_server.hpp"
 #include "radio/base_station.hpp"
 #include "sim/simulator.hpp"
@@ -39,10 +40,16 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   sim::Simulator& sim() { return sim_; }
+  const sim::Simulator& sim() const { return sim_; }
   d2d::WifiDirectMedium& medium() { return medium_; }
+  const d2d::WifiDirectMedium& medium() const { return medium_; }
   net::ImServer& server() { return server_; }
+  const net::ImServer& server() const { return server_; }
   /// The cell a phone attaches to, by index.
   radio::BaseStation& bs(std::size_t cell = 0) { return *cells_.at(cell); }
+  const radio::BaseStation& bs(std::size_t cell = 0) const {
+    return *cells_.at(cell);
+  }
   std::size_t cell_count() const { return cells_.size(); }
   mobility::Vec2 cell_site(std::size_t cell) const {
     return sites_.at(cell);
@@ -51,6 +58,17 @@ class Scenario {
   std::size_t cell_of(NodeId node) const { return serving_cell_.at(node); }
   radio::BaseStation& serving_bs(const core::Phone& phone) {
     return *cells_.at(serving_cell_.at(phone.id()));
+  }
+  const radio::BaseStation& serving_bs(const core::Phone& phone) const {
+    return *cells_.at(serving_cell_.at(phone.id()));
+  }
+
+  /// The world's unified metrics registry (owned by the simulator).
+  metrics::MetricsRegistry& metrics() { return sim_.metrics(); }
+  const metrics::MetricsRegistry& metrics() const { return sim_.metrics(); }
+  /// Deterministic point-in-time view of every registered metric.
+  metrics::Snapshot metrics_snapshot() const {
+    return sim_.metrics().snapshot();
   }
   /// Control-plane totals summed over every cell.
   std::uint64_t total_l3() const;
@@ -72,12 +90,12 @@ class Scenario {
   core::OriginalAgent& add_original(core::Phone& phone,
                                     apps::AppProfile app);
 
-  /// Registers the phone's primary app session at the server with the
-  /// given tolerance (commercial servers allow ~3 heartbeat periods).
-  void register_session(const core::Phone& phone, Duration tolerance);
-  /// Registers a specific app instance (for phones running several).
-  void register_session(const core::Phone& phone, AppId app,
-                        Duration tolerance);
+  /// Registers an app session at the server with the given tolerance
+  /// (commercial servers allow ~3 heartbeat periods). By default the
+  /// phone's primary app is registered; pass `app` explicitly for phones
+  /// running several.
+  void register_session(const core::Phone& phone, Duration tolerance,
+                        AppId app = AppId::invalid());
 
   std::vector<std::unique_ptr<core::Phone>>& phones() { return phones_; }
   std::vector<std::unique_ptr<core::RelayAgent>>& relays() { return relays_; }

@@ -34,6 +34,7 @@ StrategyMetrics collect(Scenario& world, std::string name,
   m.offline_events = totals.offline_events;
   m.offline_detection_s = detection_s;
   m.note = std::move(note);
+  m.metrics = world.metrics_snapshot();
   return m;
 }
 

@@ -31,6 +31,7 @@ Duration settle_tail() { return seconds(30); }
 void fill_common(Scenario& world, PairMetrics& metrics) {
   metrics.server = world.server().totals();
   metrics.system_l3 = world.bs().signaling().total();
+  metrics.metrics = world.metrics_snapshot();
 }
 
 }  // namespace

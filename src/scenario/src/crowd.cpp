@@ -54,6 +54,7 @@ void collect_common(Scenario& world, const CrowdConfig& config,
   metrics.server = world.server().totals();
   metrics.heartbeats_delivered = metrics.server.delivered;
   metrics.credits_issued = world.ledger().total_issued();
+  metrics.metrics = world.metrics_snapshot();
   (void)config;
 }
 

@@ -19,8 +19,9 @@ Scenario::Scenario(Params params)
   cells_.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     cells_.push_back(std::make_unique<radio::BaseStation>(
-        sim_, server_, params.backhaul, rng_.fork()));
+        sim_, server_, params.backhaul, rng_.fork(), i));
   }
+  ledger_.bind_metrics(sim_.metrics());
 }
 
 std::uint64_t Scenario::total_l3() const {
@@ -83,13 +84,9 @@ core::OriginalAgent& Scenario::add_original(core::Phone& phone,
   return *originals_.back();
 }
 
-void Scenario::register_session(const core::Phone& phone,
-                                Duration tolerance) {
-  register_session(phone, AppId{phone.id().value}, tolerance);
-}
-
-void Scenario::register_session(const core::Phone& phone, AppId app,
-                                Duration tolerance) {
+void Scenario::register_session(const core::Phone& phone, Duration tolerance,
+                                AppId app) {
+  if (!app.valid()) app = AppId{phone.id().value};
   server_.register_client(phone.id(), app, tolerance);
 }
 

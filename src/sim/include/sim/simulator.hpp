@@ -15,10 +15,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "common/units.hpp"
+
+namespace d2dhb::metrics {
+class MetricsRegistry;
+}
 
 namespace d2dhb::sim {
 
@@ -35,12 +40,19 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time. Starts at the epoch (t = 0).
   TimePoint now() const { return now_; }
+
+  /// The world's unified metrics registry. Every substrate constructed
+  /// against this simulator registers its counters/gauges here, keyed by
+  /// (node, cell, component) labels — one queryable tree per run.
+  metrics::MetricsRegistry& metrics() { return *metrics_; }
+  const metrics::MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()).
   EventId schedule_at(TimePoint t, Callback fn);
@@ -91,6 +103,7 @@ class Simulator {
   /// still in the heap, which is what makes stale-handle detection work.
   void retire(std::uint32_t slot);
 
+  std::unique_ptr<metrics::MetricsRegistry> metrics_;
   TimePoint now_{};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};

@@ -4,7 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "metrics/registry.hpp"
+
 namespace d2dhb::sim {
+
+Simulator::Simulator()
+    : metrics_(std::make_unique<metrics::MetricsRegistry>()) {}
+
+Simulator::~Simulator() = default;
 
 namespace {
 constexpr std::uint64_t make_id(std::uint32_t slot, std::uint32_t gen) {

@@ -82,6 +82,52 @@ TEST(TraceLog, PrintFormatsAndFilters) {
   EXPECT_EQ(only_rrc.str().find("fallback"), std::string::npos);
 }
 
+TEST(TraceLog, CapacityIsReportedAndEnforced) {
+  TraceLog log{2};
+  EXPECT_EQ(log.capacity(), 2u);
+  log.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    log.record(TimePoint{} + seconds(i), TraceCategory::rrc, NodeId{1},
+               std::to_string(i));
+  }
+  EXPECT_EQ(log.events().size(), log.capacity());
+  EXPECT_EQ(log.dropped(), 3u);
+  // Accounting invariant: everything recorded is either retained or
+  // counted as dropped.
+  EXPECT_EQ(log.events().size() + log.dropped(), 5u);
+  log.clear();
+  EXPECT_EQ(log.capacity(), 2u);  // capacity survives clear()
+}
+
+TEST(TraceLog, WriteJsonlGolden) {
+  TraceLog log{8};
+  log.set_enabled(true);
+  log.record(TimePoint{} + seconds(1.5), TraceCategory::rrc, NodeId{7},
+             "IDLE -> PROMOTING");
+  log.record(TimePoint{} + seconds(2), TraceCategory::d2d, NodeId{3},
+             "link \"up\"");
+  std::ostringstream os;
+  log.write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.5,\"category\":\"rrc\",\"node\":7,"
+            "\"message\":\"IDLE -> PROMOTING\"}\n"
+            "{\"t\":2,\"category\":\"d2d\",\"node\":3,"
+            "\"message\":\"link \\\"up\\\"\"}\n"
+            "{\"meta\":{\"events\":2,\"capacity\":8,\"dropped\":0}}\n");
+}
+
+TEST(TraceLog, WriteJsonlMetaCountsDrops) {
+  TraceLog log{1};
+  log.set_enabled(true);
+  log.record(TimePoint{}, TraceCategory::agent, NodeId{1}, "a");
+  log.record(TimePoint{}, TraceCategory::agent, NodeId{1}, "b");
+  std::ostringstream os;
+  log.write_jsonl(os);
+  EXPECT_NE(os.str().find(
+                "{\"meta\":{\"events\":1,\"capacity\":1,\"dropped\":1}}"),
+            std::string::npos);
+}
+
 TEST(TraceLog, CategoryNames) {
   EXPECT_STREQ(to_string(TraceCategory::rrc), "rrc");
   EXPECT_STREQ(to_string(TraceCategory::d2d), "d2d");

@@ -82,7 +82,7 @@ TEST_F(MultiAppTest, RelayExtraAppsRideAggregates) {
   RelayAgent& relay = world_.add_relay(relay_phone, rp);
   apps::HeartbeatApp& diag = relay.add_own_app(app(60.0));
   world_.register_session(relay_phone, seconds(90));
-  world_.register_session(relay_phone, diag.app_id(), seconds(180));
+  world_.register_session(relay_phone, seconds(180), diag.app_id());
 
   relay.start();
   world_.sim().run_until(TimePoint{} + seconds(300));

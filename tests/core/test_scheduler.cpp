@@ -162,7 +162,7 @@ TEST_F(SchedulerTest, FlushNowOnEmptyIsNoOp) {
   auto sched = make(params());
   sched->flush_now();
   EXPECT_TRUE(flushes_.empty());
-  EXPECT_EQ(sched->stats().flushes, 0u);
+  EXPECT_EQ(sched->stats().flushes(), 0u);
 }
 
 TEST_F(SchedulerTest, RemainingCapacityTracksBuffer) {
@@ -190,15 +190,14 @@ TEST_F(SchedulerTest, StatsAccounting) {
   sched->collect(heartbeat(3));  // capacity flush: 3 messages
   sched->begin_window(heartbeat(4));
   sim_.run_until(TimePoint{} + seconds(1000));  // window flush: 1 message
-  const auto& s = sched->stats();
+  const auto s = sched->stats();
   EXPECT_EQ(s.windows, 2u);
   EXPECT_EQ(s.collected, 2u);
-  EXPECT_EQ(s.flushes, 2u);
+  EXPECT_EQ(s.flushes(), 2u);
   EXPECT_EQ(s.flushed_messages, 4u);
   EXPECT_DOUBLE_EQ(s.mean_bundle_size(), 2.0);
-  EXPECT_EQ(s.flushes_by_reason[static_cast<int>(FlushReason::capacity)], 1u);
-  EXPECT_EQ(s.flushes_by_reason[static_cast<int>(FlushReason::window_end)],
-            1u);
+  EXPECT_EQ(s.flushes(FlushReason::capacity), 1u);
+  EXPECT_EQ(s.flushes(FlushReason::window_end), 1u);
 }
 
 TEST_F(SchedulerTest, ImminentDeadlineFlushesWithoutGoingNegative) {

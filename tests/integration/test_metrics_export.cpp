@@ -1,0 +1,121 @@
+// End-to-end metrics pipeline: every substrate registers into the
+// world's registry, snapshots ride the scenario result structs, and the
+// serialized export is byte-identical for any worker thread count —
+// the determinism contract of ISSUE "structured run export".
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/export.hpp"
+#include "runner/sweep_runner.hpp"
+#include "scenario/baselines.hpp"
+#include "scenario/compressed_pair.hpp"
+#include "scenario/crowd.hpp"
+
+namespace d2dhb {
+namespace {
+
+using namespace d2dhb::scenario;
+
+CrowdConfig small_crowd() {
+  CrowdConfig config;
+  config.phones = 16;
+  config.duration_s = 900.0;
+  config.area_m = 60.0;
+  return config;
+}
+
+std::string sweep_report(std::size_t threads) {
+  runner::SweepRunner<CrowdConfig, CrowdMetrics> sweep(
+      [](const CrowdConfig& base, std::uint64_t seed) {
+        CrowdConfig config = base;
+        config.seed = seed;
+        return run_d2d_crowd(config);
+      });
+  sweep.point("16 phones", small_crowd())
+      .seeds({101, 102, 103})
+      .threads(threads)
+      .metric("total L3",
+              [](const CrowdMetrics& m) {
+                return static_cast<double>(m.total_l3);
+              })
+      .snapshot([](const CrowdMetrics& m) { return m.metrics; });
+  std::ostringstream os;
+  metrics::export_json_report(sweep.run().labeled_snapshots(), os);
+  return os.str();
+}
+
+TEST(MetricsExportIntegration, SweepExportByteIdenticalAcrossThreads) {
+  EXPECT_EQ(sweep_report(1), sweep_report(8));
+}
+
+TEST(MetricsExportIntegration, CrowdSnapshotCoversAllSubstrates) {
+  const CrowdMetrics m = run_d2d_crowd(small_crowd());
+  const metrics::Snapshot& snap = m.metrics;
+  ASSERT_FALSE(snap.empty());
+
+  // RRC transitions (radio layer).
+  EXPECT_GT(snap.counter_total("rrc.transitions"), 0u);
+  EXPECT_GT(snap.counter_total("rrc.promotions"), 0u);
+  // D2D transfers (wifi-direct layer).
+  EXPECT_GT(snap.counter_total("d2d.sends"), 0u);
+  EXPECT_GT(snap.counter_total("d2d.links_established"), 0u);
+  // Scheduler flush reasons (relay bundling).
+  EXPECT_GT(snap.counter_total("scheduler.windows"), 0u);
+  const std::uint64_t flushes =
+      snap.counter_total("scheduler.flushes.capacity") +
+      snap.counter_total("scheduler.flushes.expiry") +
+      snap.counter_total("scheduler.flushes.window_end") +
+      snap.counter_total("scheduler.flushes.forced");
+  EXPECT_GT(flushes, 0u);
+  // Per-node energy gauges match the phones' meters.
+  double energy = 0.0;
+  for (const metrics::SnapshotEntry& e : snap.entries) {
+    if (e.name == "energy.radio_uah") energy += e.value;
+  }
+  EXPECT_NEAR(energy, m.total_radio_uah, 1e-6);
+  // Server-side delivery counters agree with the ImServer totals.
+  EXPECT_EQ(snap.counter_total("server.delivered"), m.server.delivered);
+  // Cell-labeled signaling gauge agrees with the SignalingCounter.
+  EXPECT_NEAR(snap.gauge_total("signaling.l3_total"),
+              static_cast<double>(m.total_l3), 1e-9);
+}
+
+TEST(MetricsExportIntegration, PairArmsCarrySnapshots) {
+  CompressedPairConfig config;
+  config.num_ues = 2;
+  config.transmissions = 4;
+  const PairMetrics orig = run_original_pair(config);
+  const PairMetrics d2d = run_d2d_pair(config);
+  EXPECT_GT(orig.metrics.counter_total("original.heartbeats_sent"), 0u);
+  EXPECT_EQ(orig.metrics.counter_total("d2d.sends"), 0u);
+  EXPECT_GT(d2d.metrics.counter_total("d2d.sends"), 0u);
+  EXPECT_GT(d2d.metrics.counter_total("relay.bundles_sent"), 0u);
+}
+
+TEST(MetricsExportIntegration, BaselineStrategiesCarrySnapshots) {
+  BaselineConfig config;
+  config.phones = 6;
+  config.duration_s = 900.0;
+  const StrategyMetrics piggyback = run_baseline_piggyback(config);
+  EXPECT_GT(piggyback.metrics.counter_total("baseline.heartbeats"), 0u);
+  const StrategyMetrics d2d = run_d2d_framework_arm(config);
+  EXPECT_GT(d2d.metrics.counter_total("relay.forwarded_received"), 0u);
+}
+
+TEST(MetricsExportIntegration, MergeAcrossSeedsSumsCounters) {
+  CrowdConfig config = small_crowd();
+  config.seed = 101;
+  const CrowdMetrics a = run_d2d_crowd(config);
+  config.seed = 102;
+  const CrowdMetrics b = run_d2d_crowd(config);
+  const metrics::Snapshot merged = metrics::merge({a.metrics, b.metrics});
+  EXPECT_EQ(merged.counter_total("server.delivered"),
+            a.metrics.counter_total("server.delivered") +
+                b.metrics.counter_total("server.delivered"));
+}
+
+}  // namespace
+}  // namespace d2dhb

@@ -42,7 +42,7 @@ TEST(ScenarioHarness, RegisterSessionOverloads) {
   Scenario world;
   core::Phone& phone = world.add_phone(at(0));
   world.register_session(phone, seconds(100));
-  world.register_session(phone, AppId{4242}, seconds(200));
+  world.register_session(phone, seconds(200), AppId{4242});
   EXPECT_TRUE(world.server().online(phone.id(), AppId{phone.id().value}));
   EXPECT_TRUE(world.server().online(phone.id(), AppId{4242}));
   world.sim().run_until(TimePoint{} + seconds(150));

@@ -1,0 +1,148 @@
+#include "metrics/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace d2dhb::metrics {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hb.sent");
+  c.inc();
+  c.inc(3);
+  EXPECT_EQ(c.value(), 4u);
+  // Re-registering the same key returns the same object.
+  EXPECT_EQ(&reg.counter("hb.sent"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsSeparateSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hb.sent", {1, -1, "ue"});
+  Counter& b = reg.counter("hb.sent", {2, -1, "ue"});
+  EXPECT_NE(&a, &b);
+  a.inc(2);
+  b.inc(5);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("hb.sent", {1, -1, "ue"}), 2u);
+  EXPECT_EQ(snap.counter("hb.sent", {2, -1, "ue"}), 5u);
+  EXPECT_EQ(snap.counter_total("hb.sent"), 7u);
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+  EXPECT_THROW(reg.sampler("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, GaugeSetAndCallback) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("battery");
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+
+  double external = 1.0;
+  reg.gauge_fn("energy", {}, [&external] { return external; });
+  external = 42.5;
+  // Callback gauges read through at snapshot time.
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("energy"), 42.5);
+}
+
+TEST(MetricsRegistry, GaugeFnReRegistrationRebindsCallback) {
+  MetricsRegistry reg;
+  reg.gauge_fn("v", {}, [] { return 1.0; });
+  reg.gauge_fn("v", {}, [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("v"), 2.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("bundle", {1.0, 2.0, 4.0});
+  h.observe(1.0);   // <= 1
+  h.observe(2.0);   // <= 2
+  h.observe(3.0);   // <= 4
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+}
+
+TEST(MetricsRegistry, SamplerGatedByMasterSwitch) {
+  MetricsRegistry reg;
+  Sampler& s = reg.sampler("trace");
+  s.sample(TimePoint{} + seconds(1), 10.0);
+  EXPECT_TRUE(s.samples().empty());  // off by default
+
+  reg.set_sampling_enabled(true);
+  s.sample(TimePoint{} + seconds(2), 20.0);
+  ASSERT_EQ(s.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.samples()[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(s.samples()[0].v, 20.0);
+
+  reg.set_sampling_enabled(false);
+  s.sample(TimePoint{} + seconds(3), 30.0);
+  EXPECT_EQ(s.samples().size(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry reg;
+  reg.counter("b", {2, -1, ""});
+  reg.counter("b", {1, -1, ""});
+  reg.counter("a", {5, -1, ""});
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a");
+  EXPECT_EQ(snap.entries[1].name, "b");
+  EXPECT_EQ(snap.entries[1].labels.node, 1u);
+  EXPECT_EQ(snap.entries[2].labels.node, 2u);
+}
+
+TEST(MetricsRegistry, SnapshotFindMissingReturnsDefaults) {
+  MetricsRegistry reg;
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("nope"), nullptr);
+  EXPECT_EQ(snap.counter("nope"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("nope"), 0.0);
+  EXPECT_TRUE(snap.empty());
+}
+
+TEST(MetricsMerge, SumsMatchingSeries) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(2);
+  b.counter("c").inc(3);
+  a.gauge("g").set(1.5);
+  b.gauge("g").set(2.5);
+  a.histogram("h", {10.0}).observe(4.0);
+  b.histogram("h", {10.0}).observe(6.0);
+  const Snapshot merged = merge({a.snapshot(), b.snapshot()});
+  EXPECT_EQ(merged.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(merged.gauge("g"), 4.0);
+  const SnapshotEntry* h = merged.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->histogram.count, 2u);
+  EXPECT_DOUBLE_EQ(h->histogram.sum, 10.0);
+}
+
+TEST(MetricsMerge, DisjointSeriesUnionInSortedOrder) {
+  MetricsRegistry a, b;
+  a.counter("only.a").inc();
+  b.counter("only.b").inc(7);
+  const Snapshot merged = merge({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.entries.size(), 2u);
+  EXPECT_EQ(merged.entries[0].name, "only.a");
+  EXPECT_EQ(merged.entries[1].name, "only.b");
+  EXPECT_EQ(merged.counter("only.b"), 7u);
+}
+
+}  // namespace
+}  // namespace d2dhb::metrics

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "metrics/export.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/sweep_runner.hpp"
 #include "scenario/baselines.hpp"
@@ -49,7 +50,9 @@ using namespace d2dhb::scenario;
       << "    --threads T (worker threads; default D2DHB_THREADS or hw)\n"
       << "  baselines  related-work strategy comparison\n"
       << "    --phones N --duration S --seed S --threads T\n"
-      << "  traces     Fig. 6/7 current traces\n";
+      << "  traces     Fig. 6/7 current traces\n"
+      << "  pair/crowd/baselines also take --metrics-out PATH (full\n"
+      << "  registry snapshot per arm; .csv extension switches to CSV)\n";
   std::exit(2);
 }
 
@@ -102,6 +105,15 @@ class Flags {
   std::map<std::size_t, bool> used_;
 };
 
+/// Writes the per-arm snapshot report when --metrics-out was given.
+void maybe_write_metrics(const std::optional<std::string>& path,
+                         const metrics::NamedSnapshots& sections) {
+  if (!path) return;
+  if (metrics::write_report(sections, *path)) {
+    std::cout << "metrics written to " << *path << '\n';
+  }
+}
+
 int run_pair(Flags& flags, const char* argv0) {
   CompressedPairConfig config;
   config.num_ues = static_cast<std::size_t>(flags.number("--ues", 1));
@@ -113,6 +125,7 @@ int run_pair(Flags& flags, const char* argv0) {
   config.capacity = static_cast<std::size_t>(flags.number("--capacity", 7));
   config.use_lte = flags.has("--lte");
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 1));
+  const auto metrics_out = flags.value("--metrics-out");
   flags.check(argv0);
 
   // The two arms are independent simulations; run them as parallel jobs.
@@ -149,6 +162,8 @@ int run_pair(Flags& flags, const char* argv0) {
             << "%, UE energy " << Table::num(100 * s.ue_energy_fraction, 1)
             << "%, signaling "
             << Table::num(100 * s.signaling_fraction, 1) << "%\n";
+  maybe_write_metrics(metrics_out,
+                      {{"original", orig.metrics}, {"d2d", d2d.metrics}});
   return 0;
 }
 
@@ -170,6 +185,7 @@ int run_crowd(Flags& flags, const char* argv0) {
       static_cast<std::size_t>(flags.number("--seeds", 1));
   const auto threads =
       static_cast<std::size_t>(flags.number("--threads", 0));
+  const auto metrics_out = flags.value("--metrics-out");
   if (const auto policy = flags.value("--policy")) {
     if (*policy == "greedy") {
       config.operator_policy = core::SelectionPolicy::coverage_greedy;
@@ -222,12 +238,27 @@ int run_crowd(Flags& flags, const char* argv0) {
                 [](const CrowdCell& c) {
                   return static_cast<double>(c.d2d.fallbacks);
                 })
-        .metric("offline events", [](const CrowdCell& c) {
-          return static_cast<double>(c.d2d.server.offline_events);
-        });
+        .metric("offline events",
+                [](const CrowdCell& c) {
+                  return static_cast<double>(c.d2d.server.offline_events);
+                })
+        .snapshot([](const CrowdCell& c) { return c.d2d.metrics; });
     std::cout << "Crowd sweep: " << seed_count << " seeds from "
               << config.seed << "\n";
-    sweep.run().table().print(std::cout);
+    const auto result = sweep.run();
+    result.table().print(std::cout);
+    if (metrics_out) {
+      // D2D arm merged across seeds via the runner's aggregation; the
+      // original arm merged the same way by hand (one snapshot hook per
+      // sweep, and the cells carry both arms).
+      std::vector<metrics::Snapshot> orig_parts;
+      for (const CrowdCell& cell : result.cells.at(0)) {
+        orig_parts.push_back(cell.orig.metrics);
+      }
+      maybe_write_metrics(metrics_out,
+                          {{"original", metrics::merge(orig_parts)},
+                           {"d2d", result.merged_snapshot(0)}});
+    }
     return 0;
   }
 
@@ -267,6 +298,8 @@ int run_crowd(Flags& flags, const char* argv0) {
     std::cout << "\nOperator relay coverage: "
               << Table::num(100 * d2d.relay_coverage, 1) << "%\n";
   }
+  maybe_write_metrics(metrics_out,
+                      {{"original", orig.metrics}, {"d2d", d2d.metrics}});
   return 0;
 }
 
@@ -277,6 +310,7 @@ int run_baselines(Flags& flags, const char* argv0) {
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 21));
   const auto threads =
       static_cast<std::size_t>(flags.number("--threads", 0));
+  const auto metrics_out = flags.value("--metrics-out");
   flags.check(argv0);
 
   // Each strategy arm is an independent simulation — parallel jobs.
@@ -303,6 +337,13 @@ int run_baselines(Flags& flags, const char* argv0) {
                    Table::num(s.offline_detection_s, 0), s.note});
   }
   table.print(std::cout);
+  if (metrics_out) {
+    metrics::NamedSnapshots sections;
+    for (const StrategyMetrics& s : strategies) {
+      sections.emplace_back(s.name, s.metrics);
+    }
+    maybe_write_metrics(metrics_out, sections);
+  }
   return 0;
 }
 
