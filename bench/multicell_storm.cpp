@@ -36,7 +36,7 @@ CrowdConfig storm_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Multi-cell synchronized storm (2x2 cells, 64 phones, 30 min)",
       "signaling storm is per control channel — aggregation relieves "
@@ -65,7 +65,8 @@ int main() {
                 return static_cast<double>(c.d2d.peak_l3_per_10s);
               })
       .metric("relay coverage",
-              [](const StormCell& c) { return c.d2d.relay_coverage; });
+              [](const StormCell& c) { return c.d2d.relay_coverage; })
+      .snapshot([](const StormCell& c) { return c.d2d.metrics; });
   const auto result = sweep.run();
 
   const StormCell& first = result.cells.front().front();
@@ -89,6 +90,9 @@ int main() {
 
   std::cout << "\nAcross seeds:\n";
   bench::emit(result.table(), "multicell_storm_seeds");
+  // D2D-arm registry snapshot, merged across seeds per sweep point.
+  bench::emit_metrics(result.labeled_snapshots(),
+                      bench::metrics_out_path(argc, argv));
 
   std::cout << "\nWorst-cell storm peak (L3 per 10 s, first seed): original "
             << first.orig.peak_l3_per_10s << " vs D2D "

@@ -26,6 +26,7 @@ struct ExodusMetrics {
   std::uint64_t exodus_d2d{0}, exodus_cellular{0}, exodus_fallbacks{0},
       exodus_losses{0}, exodus_l3{0};
   net::ImServer::Totals server;
+  metrics::Snapshot registry;  ///< End-of-run registry snapshot.
 };
 
 ExodusMetrics run_exodus(std::uint64_t seed) {
@@ -94,12 +95,13 @@ ExodusMetrics run_exodus(std::uint64_t seed) {
   m.exodus_losses = after.losses - before.losses;
   m.exodus_l3 = world.total_l3() - l3_before;
   m.server = world.server().totals();
+  m.registry = world.metrics_snapshot();
   return m;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Stress: stadium exodus (36 phones, 30 min static + mass walk-out)",
       "mobility breaks every D2D link; the feedback/fallback path keeps "
@@ -131,6 +133,21 @@ int main() {
     late_total += m.server.late;
   }
   bench::emit(table, "stress_exodus");
+
+  // Registry snapshots: one merged-across-seeds section plus one per
+  // seed (runs are in fixed seed order, so the report is deterministic).
+  if (const std::string path = bench::metrics_out_path(argc, argv);
+      !path.empty()) {
+    std::vector<metrics::Snapshot> parts;
+    parts.reserve(runs.size());
+    for (const ExodusMetrics& m : runs) parts.push_back(m.registry);
+    metrics::NamedSnapshots sections{{"all seeds", metrics::merge(parts)}};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      sections.emplace_back("seed " + std::to_string(seeds[i]),
+                            runs[i].registry);
+    }
+    bench::emit_metrics(sections, path);
+  }
 
   std::cout << "\nDelivery through the exodus (" << runs.size()
             << " layouts): " << delivered_total << " heartbeats, "

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "mobility/spatial_grid.hpp"
+
 namespace d2dhb::core {
 
 namespace {
@@ -16,25 +18,39 @@ std::size_t budget(const SelectionConfig& config, std::size_t eligible_n) {
                                 : std::min(config.max_relays, eligible_n);
 }
 
+/// World index over the candidate layout; every radius count below goes
+/// through it instead of an all-pairs distance loop. Cell size = the
+/// coverage radius, so a query touches at most one neighbour ring.
+mobility::PointGrid candidate_grid(
+    const std::vector<RelayCandidate>& candidates, Meters coverage_radius) {
+  mobility::PointGrid grid{coverage_radius.value > 0.0 ? coverage_radius
+                                                       : Meters{1.0}};
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    grid.insert(i, candidates[i].position);
+  }
+  return grid;
+}
+
 }  // namespace
 
 double coverage_of(const std::vector<RelayCandidate>& candidates,
                    const std::vector<NodeId>& relays,
                    Meters coverage_radius) {
   std::unordered_set<NodeId> relay_set(relays.begin(), relays.end());
+  // Index only the relay positions: each non-relay is covered iff some
+  // relay lies within the coverage radius (early-exit point query).
+  mobility::PointGrid relay_grid{coverage_radius.value > 0.0
+                                     ? coverage_radius
+                                     : Meters{1.0}};
+  for (const auto& c : candidates) {
+    if (relay_set.contains(c.node)) relay_grid.insert(0, c.position);
+  }
   std::size_t others = 0;
   std::size_t covered = 0;
   for (const auto& c : candidates) {
     if (relay_set.contains(c.node)) continue;
     ++others;
-    for (const auto& r : candidates) {
-      if (!relay_set.contains(r.node)) continue;
-      if (mobility::distance(c.position, r.position).value <=
-          coverage_radius.value) {
-        ++covered;
-        break;
-      }
-    }
+    if (relay_grid.any_within(c.position, coverage_radius)) ++covered;
   }
   return others == 0 ? 1.0
                      : static_cast<double>(covered) /
@@ -61,17 +77,15 @@ SelectionResult select_relays(const std::vector<RelayCandidate>& candidates,
       break;
     }
     case SelectionPolicy::density: {
+      const mobility::PointGrid grid =
+          candidate_grid(candidates, config.coverage_radius);
       std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (nbrs, idx)
       for (const std::size_t i : pool) {
-        std::size_t neighbours = 0;
-        for (std::size_t j = 0; j < candidates.size(); ++j) {
-          if (j == i) continue;
-          if (mobility::distance(candidates[i].position,
-                                 candidates[j].position)
-                  .value <= config.coverage_radius.value) {
-            ++neighbours;
-          }
-        }
+        // count_within includes the candidate itself (distance 0).
+        const std::size_t neighbours =
+            grid.count_within(candidates[i].position,
+                              config.coverage_radius) -
+            1;
         ranked.emplace_back(neighbours, i);
       }
       std::sort(ranked.begin(), ranked.end(), [&](const auto& a,
@@ -85,21 +99,22 @@ SelectionResult select_relays(const std::vector<RelayCandidate>& candidates,
       break;
     }
     case SelectionPolicy::coverage_greedy: {
+      const mobility::PointGrid grid =
+          candidate_grid(candidates, config.coverage_radius);
       std::vector<bool> covered(candidates.size(), false);
       std::unordered_set<std::size_t> chosen;
+      std::vector<std::size_t> in_radius;
       for (std::size_t round = 0; round < want; ++round) {
         std::size_t best = SIZE_MAX;
         std::size_t best_gain = 0;
         for (const std::size_t i : pool) {
           if (chosen.contains(i)) continue;
           std::size_t gain = 0;
-          for (std::size_t j = 0; j < candidates.size(); ++j) {
+          grid.query_radius(candidates[i].position, config.coverage_radius,
+                            in_radius);
+          for (const std::size_t j : in_radius) {
             if (j == i || covered[j] || chosen.contains(j)) continue;
-            if (mobility::distance(candidates[i].position,
-                                   candidates[j].position)
-                    .value <= config.coverage_radius.value) {
-              ++gain;
-            }
+            ++gain;
           }
           // Ties broken by node id for determinism; a relay with zero
           // marginal gain is still picked if budget remains (it serves
@@ -114,13 +129,11 @@ SelectionResult select_relays(const std::vector<RelayCandidate>& candidates,
         if (best == SIZE_MAX) break;
         chosen.insert(best);
         result.relays.push_back(candidates[best].node);
-        for (std::size_t j = 0; j < candidates.size(); ++j) {
+        grid.query_radius(candidates[best].position, config.coverage_radius,
+                          in_radius);
+        for (const std::size_t j : in_radius) {
           if (covered[j] || chosen.contains(j)) continue;
-          if (mobility::distance(candidates[best].position,
-                                 candidates[j].position)
-                  .value <= config.coverage_radius.value) {
-            covered[j] = true;
-          }
+          covered[j] = true;
         }
       }
       break;

@@ -3,17 +3,26 @@
 // Tracks every registered radio with its mobility model, answers range
 // and discovery queries, and adds measurement noise to RSSI-derived
 // distance estimates (the pre-judgment input of Section III-C).
+//
+// Radios live in a dense slot table indexed by NodeId, and proximity
+// queries (discovery scans, range-exit sweeps) go through the
+// mobility::SpatialGrid world index instead of walking every radio —
+// the difference between O(population) and O(neighbourhood) per scan
+// at crowd scale. A legacy linear-scan path is kept behind
+// Params::legacy_scan for the grid-vs-scan ablation; both paths visit
+// peers in ascending NodeId order and draw the RNG identically, so a
+// seeded run is bit-identical whichever path answers it.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/id.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "mobility/mobility.hpp"
+#include "mobility/spatial_grid.hpp"
 #include "sim/simulator.hpp"
 
 namespace d2dhb::d2d {
@@ -42,10 +51,16 @@ class WifiDirectMedium {
     /// A group owner accepts at most this many clients (Android GOs top
     /// out around 8); further connect attempts are refused.
     std::size_t max_group_clients{8};
+    /// World-index cell size in meters; 0 picks the D2D range (one
+    /// neighbour-ring then covers every scan). Exposed for the grid
+    /// ablation (`d2dhb_sim crowd --grid-cell`).
+    double grid_cell_m{0.0};
+    /// Ablation: answer scans by walking the whole dense radio table
+    /// (in NodeId order) instead of querying the grid.
+    bool legacy_scan{false};
   };
 
-  WifiDirectMedium(sim::Simulator& sim, Params params, Rng rng)
-      : sim_(sim), params_(params), rng_(rng) {}
+  WifiDirectMedium(sim::Simulator& sim, Params params, Rng rng);
 
   /// Radios register on construction and unregister on destruction.
   void attach(WifiDirectRadio& radio, const mobility::MobilityModel& mobility);
@@ -57,22 +72,41 @@ class WifiDirectMedium {
   mobility::Vec2 position_of(NodeId node) const;
 
   /// Peers currently discoverable and in range of `scanner`, with noisy
-  /// distance estimates. Peers may be missed per the miss probability.
+  /// distance estimates, in ascending NodeId order. Peers may be missed
+  /// per the miss probability.
   std::vector<DiscoveredPeer> scan_from(NodeId scanner);
+
+  /// Range-exit sweep: which of `peers` are now gone (detached or out
+  /// of range of `node`), in `peers`' order. O(links) exact distance
+  /// checks over the dense slot table — links are capped at
+  /// max_group_clients, so this beats a radius query per poll.
+  std::vector<NodeId> lost_peers(NodeId node,
+                                 const std::vector<NodeId>& peers) const;
 
   WifiDirectRadio* radio(NodeId node) const;
   const Params& params() const { return params_; }
+  /// The world index the medium maintains (exposed for diagnostics).
+  const mobility::SpatialGrid& grid() const { return grid_; }
 
  private:
   struct Entry {
-    WifiDirectRadio* radio;
-    const mobility::MobilityModel* mobility;
+    WifiDirectRadio* radio{nullptr};
+    const mobility::MobilityModel* mobility{nullptr};
   };
+
+  const Entry* entry_of(NodeId node) const;
+  mobility::Vec2 checked_position(NodeId node) const;
 
   sim::Simulator& sim_;
   Params params_;
   Rng rng_;
-  std::unordered_map<NodeId, Entry> entries_;
+  /// Dense slot table indexed by NodeId value (node ids are contiguous
+  /// from 1 in every scenario).
+  std::vector<Entry> entries_;
+  std::size_t attached_{0};
+  mobility::SpatialGrid grid_;
+  /// Scratch buffer for grid queries (avoids per-scan allocation).
+  mutable std::vector<mobility::SpatialGrid::Neighbor> scratch_;
 };
 
 }  // namespace d2dhb::d2d

@@ -1,28 +1,69 @@
 #include "d2d/medium.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "d2d/wifi_direct.hpp"
 
 namespace d2dhb::d2d {
 
+namespace {
+Meters grid_cell(const WifiDirectMedium::Params& params) {
+  return params.grid_cell_m > 0.0 ? Meters{params.grid_cell_m}
+                                  : params.range;
+}
+}  // namespace
+
+WifiDirectMedium::WifiDirectMedium(sim::Simulator& sim, Params params,
+                                   Rng rng)
+    : sim_(sim), params_(params), rng_(rng), grid_(grid_cell(params_)) {}
+
 void WifiDirectMedium::attach(WifiDirectRadio& radio,
                               const mobility::MobilityModel& mobility) {
-  entries_[radio.owner()] = Entry{&radio, &mobility};
+  const NodeId node = radio.owner();
+  if (!node.valid()) {
+    throw std::invalid_argument("WifiDirectMedium: invalid node id");
+  }
+  if (node.value >= entries_.size()) entries_.resize(node.value + 1);
+  Entry& entry = entries_[node.value];
+  if (entry.radio == nullptr) ++attached_;
+  entry = Entry{&radio, &mobility};
+  if (grid_.contains(node)) grid_.remove(node);
+  grid_.insert(node, mobility);
 }
 
-void WifiDirectMedium::detach(NodeId node) { entries_.erase(node); }
+void WifiDirectMedium::detach(NodeId node) {
+  if (node.value >= entries_.size()) return;
+  Entry& entry = entries_[node.value];
+  if (entry.radio == nullptr) return;
+  entry = Entry{};
+  --attached_;
+  grid_.remove(node);
+}
+
+const WifiDirectMedium::Entry* WifiDirectMedium::entry_of(
+    NodeId node) const {
+  if (node.value >= entries_.size()) return nullptr;
+  const Entry& entry = entries_[node.value];
+  return entry.radio == nullptr ? nullptr : &entry;
+}
+
+mobility::Vec2 WifiDirectMedium::checked_position(NodeId node) const {
+  const Entry* entry = entry_of(node);
+  if (entry == nullptr) {
+    throw std::out_of_range("WifiDirectMedium: unknown node #" +
+                            std::to_string(node.value));
+  }
+  return entry->mobility->position_at(sim_.now());
+}
 
 mobility::Vec2 WifiDirectMedium::position_of(NodeId node) const {
-  const auto it = entries_.find(node);
-  if (it == entries_.end()) {
-    throw std::out_of_range("WifiDirectMedium: unknown node");
-  }
-  return it->second.mobility->position_at(sim_.now());
+  return checked_position(node);
 }
 
 Meters WifiDirectMedium::distance(NodeId a, NodeId b) const {
-  return mobility::distance(position_of(a), position_of(b));
+  return mobility::distance(checked_position(a), checked_position(b));
 }
 
 bool WifiDirectMedium::in_range(NodeId a, NodeId b) const {
@@ -31,30 +72,72 @@ bool WifiDirectMedium::in_range(NodeId a, NodeId b) const {
 
 std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
   std::vector<DiscoveredPeer> found;
-  const auto scanner_it = entries_.find(scanner);
-  if (scanner_it == entries_.end()) return found;
+  const Entry* scanner_entry = entry_of(scanner);
+  if (scanner_entry == nullptr) return found;
   const mobility::Vec2 origin =
-      scanner_it->second.mobility->position_at(sim_.now());
-  for (const auto& [node, entry] : entries_) {
-    if (node == scanner) continue;
-    if (!entry.radio->listening()) continue;
-    const Meters d = mobility::distance(
-        origin, entry.mobility->position_at(sim_.now()));
-    if (d.value > params_.range.value) continue;
-    if (rng_.chance(params_.discovery_miss_probability)) continue;
+      scanner_entry->mobility->position_at(sim_.now());
+
+  // Both paths visit peers in ascending NodeId order with identical
+  // distance arithmetic and RNG draws, so a seeded run's behaviour is
+  // bit-identical whichever one answers the scan (asserted by the
+  // grid-equivalence integration test).
+  auto admit = [&](NodeId node, Meters d) {
+    const Entry& entry = entries_[node.value];
+    if (!entry.radio->listening()) return;
+    if (rng_.chance(params_.discovery_miss_probability)) return;
     const double noise = rng_.normal(0.0, params_.rssi_noise_stddev_m);
     DiscoveredPeer peer;
     peer.node = node;
     peer.estimated_distance = Meters{std::max(0.0, d.value + noise)};
     peer.advert = entry.radio->advert();
     found.push_back(peer);
+  };
+
+  if (params_.legacy_scan) {
+    for (std::uint64_t id = 1; id < entries_.size(); ++id) {
+      if (entries_[id].radio == nullptr || id == scanner.value) continue;
+      const Meters d = mobility::distance(
+          origin, entries_[id].mobility->position_at(sim_.now()));
+      if (d.value > params_.range.value) continue;
+      admit(NodeId{id}, d);
+    }
+    return found;
+  }
+
+  grid_.query_radius(origin, params_.range, sim_.now(), sim_.time_epoch(),
+                     scratch_, scanner);
+  for (const auto& neighbor : scratch_) {
+    admit(neighbor.node, neighbor.distance);
   }
   return found;
 }
 
+std::vector<NodeId> WifiDirectMedium::lost_peers(
+    NodeId node, const std::vector<NodeId>& peers) const {
+  std::vector<NodeId> lost;
+  if (peers.empty()) return lost;
+  const Entry* entry = entry_of(node);
+  if (entry == nullptr) return peers;  // we vanished: every link is gone
+  // Per-peer exact checks, same in both medium modes: a node's links
+  // are bounded by max_group_clients (8), so O(links) distance checks
+  // beat a radius query (O(neighbourhood), which in a dense cluster is
+  // far larger) — and this sweep runs every poll tick for every radio.
+  const mobility::Vec2 origin = entry->mobility->position_at(sim_.now());
+  for (const NodeId peer : peers) {
+    const Entry* peer_entry = entry_of(peer);
+    if (peer_entry == nullptr ||
+        mobility::distance(origin,
+                           peer_entry->mobility->position_at(sim_.now()))
+                .value > params_.range.value) {
+      lost.push_back(peer);
+    }
+  }
+  return lost;
+}
+
 WifiDirectRadio* WifiDirectMedium::radio(NodeId node) const {
-  const auto it = entries_.find(node);
-  return it == entries_.end() ? nullptr : it->second.radio;
+  const Entry* entry = entry_of(node);
+  return entry == nullptr ? nullptr : entry->radio;
 }
 
 }  // namespace d2dhb::d2d

@@ -1,5 +1,6 @@
 #include "d2d/wifi_direct.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.hpp"
@@ -187,13 +188,15 @@ void WifiDirectRadio::disconnect_all() {
 }
 
 void WifiDirectRadio::poll_links() {
-  std::vector<NodeId> lost;
-  for (const auto& [peer, group] : links_) {
-    if (medium_.radio(peer) == nullptr || !medium_.in_range(owner_, peer)) {
-      lost.push_back(peer);
-    }
+  // One grid radius query answers the whole sweep; sort the link set so
+  // breaks happen in NodeId order regardless of map iteration order.
+  std::vector<NodeId> peers;
+  peers.reserve(links_.size());
+  for (const auto& [peer, group] : links_) peers.push_back(peer);
+  std::sort(peers.begin(), peers.end());
+  for (const NodeId peer : medium_.lost_peers(owner_, peers)) {
+    break_link(peer, true);
   }
-  for (const NodeId peer : lost) break_link(peer, true);
 }
 
 void WifiDirectRadio::send(NodeId peer, net::D2dPayload payload,

@@ -34,6 +34,11 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual Vec2 position_at(TimePoint t) const = 0;
+  /// True when position_at is time-invariant. The world index
+  /// (mobility::SpatialGrid) bins static nodes once and only refreshes
+  /// the moving ones; a model may only report true if its position
+  /// never changes.
+  virtual bool is_static() const { return false; }
 };
 
 /// Fixed position — the paper's bench-top experiments (devices at a set
@@ -42,6 +47,7 @@ class StaticMobility final : public MobilityModel {
  public:
   explicit StaticMobility(Vec2 position) : position_(position) {}
   Vec2 position_at(TimePoint) const override { return position_; }
+  bool is_static() const override { return true; }
 
  private:
   Vec2 position_;
@@ -104,6 +110,7 @@ class OffsetMobility final : public MobilityModel {
   Vec2 position_at(TimePoint t) const override {
     return leader_.position_at(t) + offset_;
   }
+  bool is_static() const override { return leader_.is_static(); }
 
  private:
   const MobilityModel& leader_;

@@ -1,0 +1,282 @@
+#include "mobility/spatial_grid.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace d2dhb::mobility {
+
+// ---------------------------------------------------------------------------
+// PointGrid
+// ---------------------------------------------------------------------------
+
+PointGrid::PointGrid(Meters cell_size) : cell_size_(cell_size.value) {
+  if (!(cell_size_ > 0.0)) {
+    throw std::invalid_argument("PointGrid: cell size must be > 0");
+  }
+}
+
+void PointGrid::insert(std::size_t index, Vec2 position) {
+  const auto slot = static_cast<std::uint32_t>(points_.size());
+  points_.push_back(Point{index, position});
+  buckets_[detail::cell_key(detail::cell_coord(position.x, cell_size_),
+                            detail::cell_coord(position.y, cell_size_))]
+      .push_back(slot);
+}
+
+template <typename Visit>
+void PointGrid::visit_cells(Vec2 center, Meters radius, Visit&& visit) const {
+  const double r = radius.value;
+  const std::int64_t x0 = detail::cell_coord(center.x - r, cell_size_);
+  const std::int64_t x1 = detail::cell_coord(center.x + r, cell_size_);
+  const std::int64_t y0 = detail::cell_coord(center.y - r, cell_size_);
+  const std::int64_t y1 = detail::cell_coord(center.y + r, cell_size_);
+  for (std::int64_t cx = x0; cx <= x1; ++cx) {
+    for (std::int64_t cy = y0; cy <= y1; ++cy) {
+      const auto it = buckets_.find(detail::cell_key(cx, cy));
+      if (it == buckets_.end()) continue;
+      for (const std::uint32_t slot : it->second) {
+        if (visit(points_[slot])) return;
+      }
+    }
+  }
+}
+
+void PointGrid::query_radius(Vec2 center, Meters radius,
+                             std::vector<std::size_t>& out) const {
+  out.clear();
+  visit_cells(center, radius, [&](const Point& p) {
+    if (distance(center, p.position).value <= radius.value) {
+      out.push_back(p.index);
+    }
+    return false;
+  });
+  std::sort(out.begin(), out.end());
+}
+
+std::size_t PointGrid::count_within(Vec2 center, Meters radius) const {
+  std::size_t n = 0;
+  visit_cells(center, radius, [&](const Point& p) {
+    if (distance(center, p.position).value <= radius.value) ++n;
+    return false;
+  });
+  return n;
+}
+
+bool PointGrid::any_within(Vec2 center, Meters radius) const {
+  bool found = false;
+  visit_cells(center, radius, [&](const Point& p) {
+    if (distance(center, p.position).value <= radius.value) {
+      found = true;
+      return true;  // stop
+    }
+    return false;
+  });
+  return found;
+}
+
+std::size_t PointGrid::nearest(Vec2 center) const {
+  if (points_.empty()) {
+    throw std::out_of_range("PointGrid::nearest: grid is empty");
+  }
+  // Expanding ring search: try radius = cell, 2*cell, ... and keep the
+  // lexicographic (distance, index) minimum — the same winner as a
+  // first-strictly-closer linear scan. A ring's answer is final once
+  // the best distance is covered by the searched radius.
+  double best_d = std::numeric_limits<double>::max();
+  std::size_t best_index = 0;
+  for (double r = cell_size_;; r *= 2.0) {
+    visit_cells(center, Meters{r}, [&](const Point& p) {
+      const double d = distance(center, p.position).value;
+      if (d < best_d || (d == best_d && p.index < best_index)) {
+        best_d = d;
+        best_index = p.index;
+      }
+      return false;
+    });
+    if (best_d <= r) return best_index;
+    // Nothing (or nothing close enough) yet — widen. Bail to a full
+    // scan once the ring has grown absurd relative to the data.
+    if (r > cell_size_ * 1e6) break;
+  }
+  for (const Point& p : points_) {
+    const double d = distance(center, p.position).value;
+    if (d < best_d || (d == best_d && p.index < best_index)) {
+      best_d = d;
+      best_index = p.index;
+    }
+  }
+  return best_index;
+}
+
+// ---------------------------------------------------------------------------
+// SpatialGrid
+// ---------------------------------------------------------------------------
+
+SpatialGrid::SpatialGrid(Meters cell_size) : cell_size_(cell_size.value) {
+  if (!(cell_size_ > 0.0)) {
+    throw std::invalid_argument("SpatialGrid: cell size must be > 0");
+  }
+}
+
+SpatialGrid::Slot* SpatialGrid::slot_of(NodeId node) {
+  if (node.value >= slots_.size()) return nullptr;
+  Slot& s = slots_[node.value];
+  return s.model == nullptr ? nullptr : &s;
+}
+
+const SpatialGrid::Slot* SpatialGrid::slot_of(NodeId node) const {
+  if (node.value >= slots_.size()) return nullptr;
+  const Slot& s = slots_[node.value];
+  return s.model == nullptr ? nullptr : &s;
+}
+
+void SpatialGrid::bin(std::uint64_t id, Slot& slot, Vec2 at) {
+  slot.cached = at;
+  slot.cell = detail::cell_key(detail::cell_coord(at.x, cell_size_),
+                               detail::cell_coord(at.y, cell_size_));
+  buckets_[slot.cell].push_back(static_cast<std::uint32_t>(id));
+}
+
+void SpatialGrid::unbin(std::uint64_t id, Slot& slot) {
+  auto& bucket = buckets_[slot.cell];
+  const auto it =
+      std::find(bucket.begin(), bucket.end(), static_cast<std::uint32_t>(id));
+  if (it != bucket.end()) {
+    *it = bucket.back();
+    bucket.pop_back();
+  }
+}
+
+void SpatialGrid::insert(NodeId node, const MobilityModel& model) {
+  if (!node.valid()) {
+    throw std::invalid_argument("SpatialGrid::insert: invalid node id");
+  }
+  if (node.value >= slots_.size()) slots_.resize(node.value + 1);
+  Slot& slot = slots_[node.value];
+  if (slot.model != nullptr) remove(node);
+  slot.model = &model;
+  slot.is_static = model.is_static();
+  // Bin at the last refreshed time (static nodes are time-invariant, and
+  // moving nodes are re-binned by the next refresh anyway).
+  bin(node.value, slot, model.position_at(cached_time_));
+  if (!slot.is_static) {
+    moving_.push_back(static_cast<std::uint32_t>(node.value));
+  }
+  ++active_;
+}
+
+void SpatialGrid::remove(NodeId node) {
+  Slot* slot = slot_of(node);
+  if (slot == nullptr) return;
+  unbin(node.value, *slot);
+  if (!slot->is_static) {
+    const auto it = std::find(moving_.begin(), moving_.end(),
+                              static_cast<std::uint32_t>(node.value));
+    if (it != moving_.end()) {
+      *it = moving_.back();
+      moving_.pop_back();
+    }
+  }
+  *slot = Slot{};
+  --active_;
+}
+
+bool SpatialGrid::contains(NodeId node) const {
+  return slot_of(node) != nullptr;
+}
+
+Vec2 SpatialGrid::position(NodeId node, TimePoint t) const {
+  const Slot* slot = slot_of(node);
+  if (slot == nullptr) {
+    throw std::out_of_range("SpatialGrid: unknown node #" +
+                            std::to_string(node.value));
+  }
+  return slot->model->position_at(t);
+}
+
+const MobilityModel* SpatialGrid::model(NodeId node) const {
+  const Slot* slot = slot_of(node);
+  return slot == nullptr ? nullptr : slot->model;
+}
+
+void SpatialGrid::refresh(TimePoint t, std::uint64_t epoch) const {
+  if (cache_primed_ && epoch == cached_epoch_ && t == cached_time_) return;
+  for (const std::uint32_t id : moving_) {
+    Slot& slot = slots_[id];
+    const Vec2 at = slot.model->position_at(t);
+    const std::uint64_t cell =
+        detail::cell_key(detail::cell_coord(at.x, cell_size_),
+                         detail::cell_coord(at.y, cell_size_));
+    slot.cached = at;
+    if (cell == slot.cell) continue;
+    // Re-bin: cheap removal by swap, order inside buckets is
+    // irrelevant because queries sort by NodeId.
+    auto& old_bucket = buckets_[slot.cell];
+    const auto it = std::find(old_bucket.begin(), old_bucket.end(), id);
+    if (it != old_bucket.end()) {
+      *it = old_bucket.back();
+      old_bucket.pop_back();
+    }
+    slot.cell = cell;
+    buckets_[cell].push_back(id);
+  }
+  cached_time_ = t;
+  cached_epoch_ = epoch;
+  cache_primed_ = true;
+}
+
+void SpatialGrid::query_radius(Vec2 center, Meters radius, TimePoint t,
+                               std::uint64_t epoch,
+                               std::vector<Neighbor>& out,
+                               NodeId exclude) const {
+  out.clear();
+  refresh(t, epoch);
+  const double r = radius.value;
+  const std::int64_t x0 = detail::cell_coord(center.x - r, cell_size_);
+  const std::int64_t x1 = detail::cell_coord(center.x + r, cell_size_);
+  const std::int64_t y0 = detail::cell_coord(center.y - r, cell_size_);
+  const std::int64_t y1 = detail::cell_coord(center.y + r, cell_size_);
+  for (std::int64_t cx = x0; cx <= x1; ++cx) {
+    for (std::int64_t cy = y0; cy <= y1; ++cy) {
+      const auto it = buckets_.find(detail::cell_key(cx, cy));
+      if (it == buckets_.end()) continue;
+      for (const std::uint32_t id : it->second) {
+        if (id == exclude.value) continue;
+        // The cached position IS the position at t (refresh above), so
+        // the distance test matches a brute-force scan bit for bit.
+        const Meters d = distance(center, slots_[id].cached);
+        if (d.value <= r) out.push_back(Neighbor{NodeId{id}, d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.node < b.node;
+            });
+}
+
+std::size_t SpatialGrid::count_within(Vec2 center, Meters radius,
+                                      TimePoint t, std::uint64_t epoch,
+                                      NodeId exclude) const {
+  refresh(t, epoch);
+  const double r = radius.value;
+  std::size_t n = 0;
+  const std::int64_t x0 = detail::cell_coord(center.x - r, cell_size_);
+  const std::int64_t x1 = detail::cell_coord(center.x + r, cell_size_);
+  const std::int64_t y0 = detail::cell_coord(center.y - r, cell_size_);
+  const std::int64_t y1 = detail::cell_coord(center.y + r, cell_size_);
+  for (std::int64_t cx = x0; cx <= x1; ++cx) {
+    for (std::int64_t cy = y0; cy <= y1; ++cy) {
+      const auto it = buckets_.find(detail::cell_key(cx, cy));
+      if (it == buckets_.end()) continue;
+      for (const std::uint32_t id : it->second) {
+        if (id == exclude.value) continue;
+        if (distance(center, slots_[id].cached).value <= r) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace d2dhb::mobility

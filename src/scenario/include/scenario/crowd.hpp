@@ -44,6 +44,19 @@ struct CrowdConfig {
   /// spread. Small values synchronize the crowd — the "signaling storm"
   /// worst case where every phone hits the control channel at once.
   double stagger_fraction{0.8};
+  /// World-index cell size for the D2D medium in meters (0 = the D2D
+  /// range). Exposed for the grid ablation (`d2dhb_sim crowd
+  /// --grid-cell`).
+  double grid_cell_m{0.0};
+  /// Ablation: answer discovery/range queries with the legacy linear
+  /// scan instead of the spatial grid (seeded runs are bit-identical
+  /// either way; only the speed differs).
+  bool legacy_scan{false};
+  /// Connected UEs re-scan every this many seconds and switch to a
+  /// markedly closer relay (core::UeAgent::Params::reassess_interval).
+  /// Zero disables re-assessment. Periodic re-scans make discovery the
+  /// dominant event class at scale — the scaling benches use this.
+  double reassess_interval_s{0.0};
   std::uint64_t seed{7};
 };
 
@@ -66,8 +79,12 @@ struct CrowdMetrics {
   net::ImServer::Totals server;
   double credits_issued{0.0};
   /// Fraction of UEs within D2D matching range of a relay at layout
-  /// time (only meaningful when operator selection ran).
+  /// time (grid-backed coverage accounting; computed for every layout,
+  /// operator-selected or first-N).
   double relay_coverage{0.0};
+  /// Simulator events executed by this run — the numerator of the
+  /// events/sec scaling benches.
+  std::uint64_t sim_events{0};
   /// Full registry snapshot taken at the end of the run (every counter,
   /// gauge, and histogram the substrates registered).
   metrics::Snapshot metrics;

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/id.hpp"
@@ -16,6 +15,7 @@
 #include "core/ue_agent.hpp"
 #include "d2d/medium.hpp"
 #include "metrics/registry.hpp"
+#include "mobility/spatial_grid.hpp"
 #include "net/im_server.hpp"
 #include "radio/base_station.hpp"
 #include "sim/simulator.hpp"
@@ -54,14 +54,17 @@ class Scenario {
   mobility::Vec2 cell_site(std::size_t cell) const {
     return sites_.at(cell);
   }
-  /// Which cell serves this phone.
-  std::size_t cell_of(NodeId node) const { return serving_cell_.at(node); }
+  /// Which cell serves this phone. Fails loudly (naming the node) for
+  /// ids that never went through add_phone.
+  std::size_t cell_of(NodeId node) const;
   radio::BaseStation& serving_bs(const core::Phone& phone) {
-    return *cells_.at(serving_cell_.at(phone.id()));
+    return *cells_[cell_of(phone.id())];
   }
   const radio::BaseStation& serving_bs(const core::Phone& phone) const {
-    return *cells_.at(serving_cell_.at(phone.id()));
+    return *cells_[cell_of(phone.id())];
   }
+  /// Dense NodeId → phone lookup (nullptr for unknown ids).
+  core::Phone* find_phone(NodeId node) const;
 
   /// The world's unified metrics registry (owned by the simulator).
   metrics::MetricsRegistry& metrics() { return sim_.metrics(); }
@@ -111,9 +114,16 @@ class Scenario {
   sim::Simulator sim_;
   d2d::WifiDirectMedium medium_;
   net::ImServer server_;
+  static constexpr std::uint32_t kNoCell = UINT32_MAX;
+
   std::vector<mobility::Vec2> sites_;
   std::vector<std::unique_ptr<radio::BaseStation>> cells_;
-  std::unordered_map<NodeId, std::size_t> serving_cell_;
+  /// Cell-site world index for nearest-cell attach.
+  mobility::PointGrid site_grid_;
+  /// Per-node tables indexed by contiguous NodeId value (kNoCell /
+  /// nullptr marks ids that never went through add_phone).
+  std::vector<std::uint32_t> serving_cell_;
+  std::vector<core::Phone*> phone_by_id_;
   core::IncentiveLedger ledger_;
   IdGenerator<NodeId> node_ids_;
   IdGenerator<MessageId> message_ids_;

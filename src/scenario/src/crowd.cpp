@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 
+#include "core/operator_selection.hpp"
 #include "scenario/scenario.hpp"
 
 namespace d2dhb::scenario {
@@ -19,6 +21,16 @@ std::unique_ptr<mobility::MobilityModel> make_mobility(
   params.max_speed_mps = 1.2;
   params.max_pause = seconds(60);
   return std::make_unique<mobility::RandomWaypoint>(params, start, rng);
+}
+
+Scenario::Params world_params(const CrowdConfig& config,
+                              std::vector<mobility::Vec2> sites) {
+  Scenario::Params params;
+  params.seed = config.seed;
+  params.medium.grid_cell_m = config.grid_cell_m;
+  params.medium.legacy_scan = config.legacy_scan;
+  params.cell_sites = std::move(sites);
+  return params;
 }
 
 std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {
@@ -54,6 +66,7 @@ void collect_common(Scenario& world, const CrowdConfig& config,
   metrics.server = world.server().totals();
   metrics.heartbeats_delivered = metrics.server.delivered;
   metrics.credits_issued = world.ledger().total_issued();
+  metrics.sim_events = world.sim().executed_events();
   metrics.metrics = world.metrics_snapshot();
   (void)config;
 }
@@ -61,8 +74,7 @@ void collect_common(Scenario& world, const CrowdConfig& config,
 }  // namespace
 
 CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
-  Scenario world{
-      Scenario::Params{config.seed, {}, {}, cell_grid_sites(config)}};
+  Scenario world{world_params(config, cell_grid_sites(config))};
   Rng layout_rng = world.fork_rng();
   const auto positions = mobility::clustered_crowd(
       config.phones, config.clusters, {0.0, 0.0},
@@ -71,17 +83,17 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
   const auto relay_count = static_cast<std::size_t>(
       std::round(config.relay_fraction * static_cast<double>(config.phones)));
 
-  // Which phones relay: operator-selected or simply the first N.
+  // Which phones relay: operator-selected or simply the first N. Node
+  // ids are assigned 1..N in insertion order below.
+  std::vector<core::RelayCandidate> candidates;
+  candidates.reserve(config.phones);
+  for (std::size_t i = 0; i < config.phones; ++i) {
+    candidates.push_back(core::RelayCandidate{
+        NodeId{i + 1}, positions[i], 1.0, true});
+  }
   std::vector<bool> is_relay_at(config.phones, false);
   double relay_coverage = 0.0;
   if (config.operator_policy.has_value()) {
-    std::vector<core::RelayCandidate> candidates;
-    candidates.reserve(config.phones);
-    for (std::size_t i = 0; i < config.phones; ++i) {
-      // Node ids are assigned 1..N in insertion order below.
-      candidates.push_back(core::RelayCandidate{
-          NodeId{i + 1}, positions[i], 1.0, true});
-    }
     core::SelectionConfig selection;
     selection.policy = *config.operator_policy;
     selection.coverage_radius = Meters{config.match_max_distance_m};
@@ -94,7 +106,15 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
     }
     relay_coverage = chosen.covered_fraction;
   } else {
-    for (std::size_t i = 0; i < relay_count; ++i) is_relay_at[i] = true;
+    std::vector<NodeId> relays;
+    for (std::size_t i = 0; i < relay_count; ++i) {
+      is_relay_at[i] = true;
+      relays.push_back(candidates[i].node);
+    }
+    // Layout coverage accounting for the first-N layout too — the same
+    // grid-backed radius counting the operator policies use.
+    relay_coverage = core::coverage_of(candidates, relays,
+                                       Meters{config.match_max_distance_m});
   }
 
   for (std::size_t i = 0; i < config.phones; ++i) {
@@ -121,6 +141,9 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
       params.match.max_distance = Meters{config.match_max_distance_m};
       params.feedback_timeout =
           config.app.heartbeat_period + seconds(30);
+      if (config.reassess_interval_s > 0.0) {
+        params.reassess_interval = seconds(config.reassess_interval_s);
+      }
       core::UeAgent& ue = world.add_ue(phone, params);
       world.register_session(phone, 3 * config.app.heartbeat_period);
       ue.start(seconds(to_seconds(config.app.heartbeat_period) *
@@ -150,8 +173,7 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
 }
 
 CrowdMetrics run_original_crowd(const CrowdConfig& config) {
-  Scenario world{
-      Scenario::Params{config.seed, {}, {}, cell_grid_sites(config)}};
+  Scenario world{world_params(config, cell_grid_sites(config))};
   Rng layout_rng = world.fork_rng();
   const auto positions = mobility::clustered_crowd(
       config.phones, config.clusters, {0.0, 0.0},

@@ -1,27 +1,66 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace d2dhb::scenario {
 
 Scenario::Scenario() : Scenario(Params{}) {}
 
+namespace {
+
+/// Cell size for the site index: the mean site spacing is a good
+/// default; any positive value is correct (only query cost varies).
+Meters site_grid_cell(const std::vector<mobility::Vec2>& sites) {
+  if (sites.size() < 2) return Meters{100.0};
+  double min_x = sites[0].x, max_x = sites[0].x;
+  double min_y = sites[0].y, max_y = sites[0].y;
+  for (const auto& s : sites) {
+    min_x = std::min(min_x, s.x);
+    max_x = std::max(max_x, s.x);
+    min_y = std::min(min_y, s.y);
+    max_y = std::max(max_y, s.y);
+  }
+  const double span = std::max(max_x - min_x, max_y - min_y);
+  return Meters{std::max(1.0, span / std::sqrt(
+                                    static_cast<double>(sites.size())))};
+}
+
+}  // namespace
+
 Scenario::Scenario(Params params)
     : rng_(params.seed),
       medium_(sim_, params.medium, rng_.fork()),
-      server_(sim_) {
-  sites_ = params.cell_sites.empty()
-               ? std::vector<mobility::Vec2>{{0.0, 0.0}}
-               : params.cell_sites;
+      server_(sim_),
+      sites_(params.cell_sites.empty()
+                 ? std::vector<mobility::Vec2>{{0.0, 0.0}}
+                 : params.cell_sites),
+      site_grid_(site_grid_cell(sites_)) {
   cells_.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     cells_.push_back(std::make_unique<radio::BaseStation>(
         sim_, server_, params.backhaul, rng_.fork(), i));
+    site_grid_.insert(i, sites_[i]);
   }
   ledger_.bind_metrics(sim_.metrics());
+}
+
+std::size_t Scenario::cell_of(NodeId node) const {
+  if (node.value >= serving_cell_.size() ||
+      serving_cell_[node.value] == kNoCell) {
+    throw std::out_of_range(
+        "Scenario::cell_of: node #" + std::to_string(node.value) +
+        " is not a phone of this scenario (phones attach in add_phone)");
+  }
+  return serving_cell_[node.value];
+}
+
+core::Phone* Scenario::find_phone(NodeId node) const {
+  if (node.value >= phone_by_id_.size()) return nullptr;
+  return phone_by_id_[node.value];
 }
 
 std::uint64_t Scenario::total_l3() const {
@@ -43,21 +82,20 @@ core::Phone& Scenario::add_phone(core::PhoneConfig config) {
     throw std::invalid_argument("Scenario::add_phone: mobility required");
   }
   const NodeId id = node_ids_.next();
-  // Cell selection: nearest site to the phone's initial position.
+  // Cell selection: nearest site to the phone's initial position,
+  // answered by the site world index (ties go to the lowest site
+  // index, the same rule as a first-strictly-closer linear scan).
   const mobility::Vec2 at = config.mobility->position_at(sim_.now());
-  std::size_t best = 0;
-  double best_distance = std::numeric_limits<double>::max();
-  for (std::size_t i = 0; i < sites_.size(); ++i) {
-    const double d = mobility::distance(at, sites_[i]).value;
-    if (d < best_distance) {
-      best_distance = d;
-      best = i;
-    }
+  const std::size_t best = site_grid_.nearest(at);
+  if (id.value >= serving_cell_.size()) {
+    serving_cell_.resize(id.value + 1, kNoCell);
+    phone_by_id_.resize(id.value + 1, nullptr);
   }
-  serving_cell_[id] = best;
+  serving_cell_[id.value] = static_cast<std::uint32_t>(best);
   phones_.push_back(std::make_unique<core::Phone>(
       sim_, id, std::move(config), medium_, cells_[best]->signaling(),
       rng_.fork()));
+  phone_by_id_[id.value] = phones_.back().get();
   return *phones_.back();
 }
 

@@ -48,6 +48,12 @@ class Simulator {
   /// Current simulated time. Starts at the epoch (t = 0).
   TimePoint now() const { return now_; }
 
+  /// Monotone counter bumped whenever simulated time advances — the
+  /// refresh key for time-lazy caches (the mobility::SpatialGrid world
+  /// index re-bins moving nodes at most once per epoch, so every
+  /// proximity query within one event instant shares a single refresh).
+  std::uint64_t time_epoch() const { return time_epoch_; }
+
   /// The world's unified metrics registry. Every substrate constructed
   /// against this simulator registers its counters/gauges here, keyed by
   /// (node, cell, component) labels — one queryable tree per run.
@@ -105,6 +111,7 @@ class Simulator {
 
   std::unique_ptr<metrics::MetricsRegistry> metrics_;
   TimePoint now_{};
+  std::uint64_t time_epoch_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   std::size_t live_{0};

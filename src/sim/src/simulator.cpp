@@ -86,7 +86,10 @@ bool Simulator::step() {
     s.armed = false;
     retire(top.slot);
     assert(top.when >= now_);
-    now_ = top.when;
+    if (top.when != now_) {
+      now_ = top.when;
+      ++time_epoch_;
+    }
     ++executed_;
     --live_;
     fn();
@@ -113,7 +116,10 @@ void Simulator::run_until(TimePoint t) {
     if (top.when > t) break;
     step();
   }
-  if (t > now_) now_ = t;
+  if (t > now_) {
+    now_ = t;
+    ++time_epoch_;
+  }
 }
 
 PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period,

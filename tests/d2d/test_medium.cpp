@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "d2d/wifi_direct.hpp"
 #include "energy/energy_meter.hpp"
 #include "sim/simulator.hpp"
@@ -96,6 +101,94 @@ TEST_F(MediumTest, DiscoveryMissProbabilityDropsPeers) {
   TestPhone relay{sim_, flaky, 2, {1.0, 0.0}};
   relay.radio.set_listening(true);
   EXPECT_TRUE(flaky.scan_from(NodeId{1}).empty());
+}
+
+TEST_F(MediumTest, ScanResultsAreInAscendingNodeIdOrder) {
+  TestPhone scanner{sim_, medium_, 3, {0.0, 0.0}};
+  TestPhone far_id{sim_, medium_, 9, {2.0, 0.0}};
+  TestPhone low_id{sim_, medium_, 1, {4.0, 0.0}};
+  TestPhone mid_id{sim_, medium_, 5, {6.0, 0.0}};
+  far_id.radio.set_listening(true);
+  low_id.radio.set_listening(true);
+  mid_id.radio.set_listening(true);
+
+  const auto peers = medium_.scan_from(NodeId{3});
+  ASSERT_EQ(peers.size(), 3u);
+  EXPECT_EQ(peers[0].node, NodeId{1});
+  EXPECT_EQ(peers[1].node, NodeId{5});
+  EXPECT_EQ(peers[2].node, NodeId{9});
+}
+
+TEST_F(MediumTest, LegacyScanAndGridScanAreIdenticalUnderOneSeed) {
+  // Same layout + same RNG seed, answered by both paths: the peer sets,
+  // order, and noisy distance draws must match exactly.
+  auto run = [this](bool legacy, double cell_m) {
+    WifiDirectMedium::Params params;
+    params.rssi_noise_stddev_m = 0.5;
+    params.discovery_miss_probability = 0.3;
+    params.legacy_scan = legacy;
+    params.grid_cell_m = cell_m;
+    WifiDirectMedium medium{sim_, params, Rng{77}};
+    std::vector<std::unique_ptr<TestPhone>> phones;
+    phones.push_back(std::make_unique<TestPhone>(
+        sim_, medium, 1, mobility::Vec2{0.0, 0.0}));
+    for (std::uint64_t id = 2; id <= 12; ++id) {
+      phones.push_back(std::make_unique<TestPhone>(
+          sim_, medium, id,
+          mobility::Vec2{2.0 * static_cast<double>(id), 1.0}));
+      phones.back()->radio.set_listening(true);
+    }
+    std::vector<std::pair<std::uint64_t, double>> seen;
+    for (int scan = 0; scan < 5; ++scan) {
+      for (const auto& p : medium.scan_from(NodeId{1})) {
+        seen.emplace_back(p.node.value, p.estimated_distance.value);
+      }
+    }
+    return seen;
+  };
+  const auto grid = run(false, 0.0);
+  const auto legacy = run(true, 0.0);
+  const auto coarse = run(false, 100.0);  // one bucket holds everyone
+  const auto fine = run(false, 1.5);      // everyone in a distinct cell
+  EXPECT_EQ(grid, legacy);
+  EXPECT_EQ(grid, coarse);
+  EXPECT_EQ(grid, fine);
+}
+
+TEST_F(MediumTest, LostPeersFlagsDetachedAndOutOfRange) {
+  TestPhone owner{sim_, medium_, 1, {0.0, 0.0}};
+  TestPhone near{sim_, medium_, 2, {5.0, 0.0}};
+  TestPhone far{sim_, medium_, 3, {100.0, 0.0}};
+  auto doomed = std::make_unique<TestPhone>(sim_, medium_, 4,
+                                            mobility::Vec2{6.0, 0.0});
+  const std::vector<NodeId> peers{NodeId{2}, NodeId{3}, NodeId{4}};
+  EXPECT_EQ(medium_.lost_peers(NodeId{1}, peers),
+            (std::vector<NodeId>{NodeId{3}}));
+  doomed.reset();  // detaches
+  EXPECT_EQ(medium_.lost_peers(NodeId{1}, peers),
+            (std::vector<NodeId>{NodeId{3}, NodeId{4}}));
+
+  // The legacy path answers the same sweep the same way.
+  WifiDirectMedium::Params legacy_params;
+  legacy_params.legacy_scan = true;
+  WifiDirectMedium legacy{sim_, legacy_params, Rng{99}};
+  TestPhone l_owner{sim_, legacy, 1, {0.0, 0.0}};
+  TestPhone l_near{sim_, legacy, 2, {5.0, 0.0}};
+  TestPhone l_far{sim_, legacy, 3, {100.0, 0.0}};
+  EXPECT_EQ(legacy.lost_peers(NodeId{1}, {NodeId{2}, NodeId{3}}),
+            (std::vector<NodeId>{NodeId{3}}));
+}
+
+TEST_F(MediumTest, UnknownNodeErrorsNameTheNode) {
+  try {
+    medium_.position_of(NodeId{41});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("41"), std::string::npos);
+  }
+  // A scan from a detached/unknown node is a no-op, not an error — a
+  // pending scan timer may outlive its radio.
+  EXPECT_TRUE(medium_.scan_from(NodeId{41}).empty());
 }
 
 }  // namespace

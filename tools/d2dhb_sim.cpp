@@ -48,6 +48,11 @@ using namespace d2dhb::scenario;
       << "    --mobile --policy greedy|random|density|first-n --seed S\n"
       << "    --seeds N (run N seeds starting at --seed, aggregated)\n"
       << "    --threads T (worker threads; default D2DHB_THREADS or hw)\n"
+      << "    --grid-cell M (world-index cell size in meters; default =\n"
+      << "    D2D range) --legacy-scan (linear-scan medium, for the\n"
+      << "    grid-vs-scan ablation; seeded results are identical)\n"
+      << "    --reassess S (connected UEs re-scan every S seconds and\n"
+      << "    switch to a markedly closer relay; 0 = off)\n"
       << "  baselines  related-work strategy comparison\n"
       << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n"
@@ -180,6 +185,9 @@ int run_crowd(Flags& flags, const char* argv0) {
   config.area_m = flags.number("--area", 100.0);
   config.duration_s = flags.number("--duration", 3600.0);
   config.mobile = flags.has("--mobile");
+  config.grid_cell_m = flags.number("--grid-cell", 0.0);
+  config.legacy_scan = flags.has("--legacy-scan");
+  config.reassess_interval_s = flags.number("--reassess", 0.0);
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 7));
   const auto seed_count =
       static_cast<std::size_t>(flags.number("--seeds", 1));
