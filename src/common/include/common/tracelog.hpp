@@ -4,13 +4,22 @@
 // substrates emit at interesting moments — RRC transitions, D2D link
 // changes, scheduler flushes, fallbacks. Off by default (near-zero
 // overhead); scenarios and tests enable it to observe or assert on the
-// sequence of events. Single-threaded by design, like the simulator.
+// sequence of events.
+//
+// Thread-safety: the global_trace() instance is shared by every
+// simulation in the process, including sweep cells running on worker
+// threads, so the mutating path (record/clear) is mutex-guarded and the
+// enable flag is atomic. The read accessors (events(), count(), the
+// printers) are NOT locked — call them only when no simulation is
+// recording, i.e. after the workers have joined.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 
 #include "common/id.hpp"
@@ -40,8 +49,10 @@ class TraceLog {
   /// Oldest events are dropped beyond the capacity.
   explicit TraceLog(std::size_t capacity = 4096) : capacity_(capacity) {}
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void record(TimePoint when, TraceCategory category, NodeId node,
               std::string message);
@@ -68,8 +79,11 @@ class TraceLog {
   void write_jsonl(std::ostream& os) const;
 
  private:
-  bool enabled_{false};
+  std::atomic<bool> enabled_{false};
   std::size_t capacity_;
+  /// Guards the ring and its counters against concurrent record()/
+  /// clear() from sweep worker threads.
+  std::mutex mutex_;
   std::deque<TraceEvent> events_;
   std::size_t counts_[static_cast<std::size_t>(TraceCategory::kCount)]{};
   std::size_t dropped_{0};

@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace d2dhb {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::warn};
+
+/// Serializes emission: sweep workers log concurrently, and without the
+/// lock two half-written records could interleave on stderr.
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +31,16 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  // Compose the full record first so the guarded section is one write.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << line;
 }
 }  // namespace detail
 

@@ -20,7 +20,8 @@ const char* to_string(TraceCategory category) {
 
 void TraceLog::record(TimePoint when, TraceCategory category, NodeId node,
                       std::string message) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (events_.size() >= capacity_) {
     --counts_[static_cast<std::size_t>(events_.front().category)];
     events_.pop_front();
@@ -31,6 +32,7 @@ void TraceLog::record(TimePoint when, TraceCategory category, NodeId node,
 }
 
 void TraceLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   dropped_ = 0;
   for (auto& c : counts_) c = 0;

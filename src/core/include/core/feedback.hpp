@@ -67,6 +67,9 @@ class FeedbackTracker {
   sim::Simulator& sim_;
   Duration timeout_;
   FallbackHandler on_fallback_;
+  // detlint: allow(unordered-state): hot-path id lookups; the only
+  // sim-visible iteration (fail_all_pending) sorts victims by MessageId
+  // first, and the destructor sweep only cancels events (order-free).
   std::unordered_map<MessageId, Entry> pending_;
 
   // Registry-backed counters (owned by the simulator's registry).

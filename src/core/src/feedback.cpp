@@ -1,5 +1,6 @@
 #include "core/feedback.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace d2dhb::core {
@@ -16,6 +17,8 @@ FeedbackTracker::FeedbackTracker(sim::Simulator& sim, Duration timeout,
 }
 
 FeedbackTracker::~FeedbackTracker() {
+  // detlint: allow(unordered-iter): cancel() only disarms slots — it
+  // never mutates the free list — so cancellation order is invisible.
   for (auto& [id, entry] : pending_) sim_.cancel(entry.timeout_event);
 }
 
@@ -46,11 +49,18 @@ void FeedbackTracker::acknowledge(const std::vector<MessageId>& delivered) {
 void FeedbackTracker::fail_all_pending() {
   std::vector<net::HeartbeatMessage> victims;
   victims.reserve(pending_.size());
+  // detlint: allow(unordered-iter): victims are sorted by MessageId
+  // below before any sim-visible callback fires.
   for (auto& [id, entry] : pending_) {
     sim_.cancel(entry.timeout_event);
     victims.push_back(std::move(entry.message));
   }
   pending_.clear();
+  // Fallback transmissions must fire in a deterministic order — sort by
+  // MessageId (ids are unique), not by hash-bucket layout.
+  std::sort(victims.begin(), victims.end(),
+            [](const net::HeartbeatMessage& a,
+               const net::HeartbeatMessage& b) { return a.id < b.id; });
   failed_immediately_ctr_->inc(victims.size());
   for (auto& message : victims) on_fallback_(message);
 }

@@ -36,6 +36,8 @@ mobility::PointGrid candidate_grid(
 double coverage_of(const std::vector<RelayCandidate>& candidates,
                    const std::vector<NodeId>& relays,
                    Meters coverage_radius) {
+  // detlint: allow(unordered-state): membership tests only (contains),
+  // never iterated — coverage loops walk the candidates vector in order.
   std::unordered_set<NodeId> relay_set(relays.begin(), relays.end());
   // Index only the relay positions: each non-relay is covered iff some
   // relay lies within the coverage radius (early-exit point query).
@@ -102,6 +104,8 @@ SelectionResult select_relays(const std::vector<RelayCandidate>& candidates,
       const mobility::PointGrid grid =
           candidate_grid(candidates, config.coverage_radius);
       std::vector<bool> covered(candidates.size(), false);
+      // detlint: allow(unordered-state): membership tests only; the
+      // greedy rounds iterate `pool` (a vector) in candidate order.
       std::unordered_set<std::size_t> chosen;
       std::vector<std::size_t> in_radius;
       for (std::size_t round = 0; round < want; ++round) {

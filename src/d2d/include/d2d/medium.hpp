@@ -61,10 +61,27 @@ class WifiDirectMedium {
   };
 
   WifiDirectMedium(sim::Simulator& sim, Params params, Rng rng);
+  ~WifiDirectMedium();
+  WifiDirectMedium(const WifiDirectMedium&) = delete;
+  WifiDirectMedium& operator=(const WifiDirectMedium&) = delete;
 
   /// Radios register on construction and unregister on destruction.
   void attach(WifiDirectRadio& radio, const mobility::MobilityModel& mobility);
   void detach(NodeId node);
+
+  /// Next group id for a freshly negotiated group. Owned by the medium
+  /// (not a process-wide static) so concurrent simulations in a sweep
+  /// never share the counter: ids are deterministic per run and there is
+  /// no cross-thread data race.
+  GroupId allocate_group() { return GroupId{next_group_++}; }
+
+  /// Invariant audit (the D2DHB_AUDIT layer): checks the world index
+  /// (SpatialGrid::audit at the current sim time) and link-table
+  /// symmetry — for every attached radio, each link (peer, group) must
+  /// be mirrored by an identical link back from the peer. Registered
+  /// with the simulator's auditor list on construction, so audit builds
+  /// run it automatically every audit interval.
+  void audit() const;
 
   /// True distance between two registered radios right now.
   Meters distance(NodeId a, NodeId b) const;
@@ -107,6 +124,8 @@ class WifiDirectMedium {
   mobility::SpatialGrid grid_;
   /// Scratch buffer for grid queries (avoids per-scan allocation).
   mutable std::vector<mobility::SpatialGrid::Neighbor> scratch_;
+  std::uint64_t next_group_{1};
+  std::uint64_t auditor_token_{0};
 };
 
 }  // namespace d2dhb::d2d

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/id.hpp"
@@ -91,7 +90,7 @@ class WifiDirectRadio {
     on_disconnect_ = std::move(handler);
   }
 
-  bool connected_to(NodeId peer) const { return links_.contains(peer); }
+  bool connected_to(NodeId peer) const { return find_link(peer) != nullptr; }
   std::size_t link_count() const { return links_.size(); }
   /// Group this radio belongs to (invalid if no links).
   GroupId group() const { return group_; }
@@ -107,8 +106,18 @@ class WifiDirectRadio {
   friend class WifiDirectMedium;
   friend struct Internal;
 
+  /// One active D2D link. Links live in a NodeId-sorted vector (a group
+  /// owner caps out at max_group_clients ≈ 8 entries, so a dense sorted
+  /// array beats hashing) — iteration order is the deterministic NodeId
+  /// order, so teardown sweeps never depend on hash-bucket layout.
+  struct Link {
+    NodeId peer;
+    GroupId group;
+  };
+
   void charge_phase(const PhaseShape& shape, MicroAmpHours target);
   void update_idle_current();
+  const Link* find_link(NodeId peer) const;
   void establish_link(NodeId peer, GroupId group, bool as_owner);
   void break_link(NodeId peer, bool notify_peer);
   void poll_links();
@@ -132,7 +141,7 @@ class WifiDirectRadio {
   /// either way — so passive energy is charged at most once per window.
   TimePoint passive_window_end_{};
 
-  std::unordered_map<NodeId, GroupId> links_;
+  std::vector<Link> links_;  ///< Sorted by peer NodeId ascending.
   GroupId group_{};
   bool group_owner_{false};
 
@@ -146,8 +155,6 @@ class WifiDirectRadio {
   metrics::Counter* links_broken_ctr_;
   metrics::Counter* sends_ctr_;
   metrics::Counter* transfer_bytes_ctr_;
-
-  static inline std::uint64_t next_group_{1};
 };
 
 }  // namespace d2dhb::d2d

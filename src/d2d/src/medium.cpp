@@ -17,7 +17,36 @@ Meters grid_cell(const WifiDirectMedium::Params& params) {
 
 WifiDirectMedium::WifiDirectMedium(sim::Simulator& sim, Params params,
                                    Rng rng)
-    : sim_(sim), params_(params), rng_(rng), grid_(grid_cell(params_)) {}
+    : sim_(sim), params_(params), rng_(rng), grid_(grid_cell(params_)) {
+  auditor_token_ = sim_.add_auditor([this] { audit(); });
+}
+
+WifiDirectMedium::~WifiDirectMedium() { sim_.remove_auditor(auditor_token_); }
+
+void WifiDirectMedium::audit() const {
+  grid_.audit(sim_.now(), sim_.time_epoch());
+  for (std::uint64_t id = 1; id < entries_.size(); ++id) {
+    const WifiDirectRadio* radio = entries_[id].radio;
+    if (radio == nullptr) continue;
+    for (const auto& link : radio->links_) {
+      const WifiDirectRadio* peer = this->radio(link.peer);
+      if (peer == nullptr) {
+        throw sim::AuditError("WifiDirectMedium audit: node #" +
+                              std::to_string(id) + " links to detached #" +
+                              std::to_string(link.peer.value));
+      }
+      const auto back = std::find_if(
+          peer->links_.begin(), peer->links_.end(),
+          [id](const auto& l) { return l.peer.value == id; });
+      if (back == peer->links_.end() || back->group != link.group) {
+        throw sim::AuditError(
+            "WifiDirectMedium audit: link #" + std::to_string(id) +
+            " -> #" + std::to_string(link.peer.value) +
+            " is not mirrored with the same group id");
+      }
+    }
+  }
+}
 
 void WifiDirectMedium::attach(WifiDirectRadio& radio,
                               const mobility::MobilityModel& mobility) {

@@ -91,8 +91,8 @@ void WifiDirectRadio::connect(NodeId peer, ConnectCallback callback) {
     callback(Result<GroupId>{Errc::not_found, "peer not on medium"});
     return;
   }
-  if (connected_to(peer)) {
-    callback(Result<GroupId>{links_.at(peer)});
+  if (const Link* link = find_link(peer)) {
+    callback(Result<GroupId>{link->group});
     return;
   }
   if (!medium_.in_range(owner_, peer)) {
@@ -132,7 +132,7 @@ void WifiDirectRadio::connect(NodeId peer, ConnectCallback callback) {
         } else if (!peer_is_owner && group_.valid() && group_owner_) {
           group = group_;
         } else {
-          group = GroupId{next_group_++};
+          group = medium_.allocate_group();
         }
         establish_link(peer, group, !peer_is_owner);
         other->establish_link(owner_, group, peer_is_owner);
@@ -142,13 +142,27 @@ void WifiDirectRadio::connect(NodeId peer, ConnectCallback callback) {
       });
 }
 
+const WifiDirectRadio::Link* WifiDirectRadio::find_link(NodeId peer) const {
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), peer,
+      [](const Link& l, NodeId p) { return l.peer < p; });
+  return (it != links_.end() && it->peer == peer) ? &*it : nullptr;
+}
+
 void WifiDirectRadio::establish_link(NodeId peer, GroupId group,
                                      bool as_owner) {
   trace(sim_.now(), TraceCategory::d2d, owner_,
         "link up with #" + std::to_string(peer.value) + " (group " +
             std::to_string(group.value) +
             (as_owner ? ", owner)" : ", client)"));
-  links_[peer] = group;
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), peer,
+      [](const Link& l, NodeId p) { return l.peer < p; });
+  if (it != links_.end() && it->peer == peer) {
+    it->group = group;
+  } else {
+    links_.insert(it, Link{peer, group});
+  }
   links_established_ctr_->inc();
   group_ = group;
   group_owner_ = as_owner;
@@ -157,8 +171,10 @@ void WifiDirectRadio::establish_link(NodeId peer, GroupId group,
 }
 
 void WifiDirectRadio::break_link(NodeId peer, bool notify_peer) {
-  const auto it = links_.find(peer);
-  if (it == links_.end()) return;
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), peer,
+      [](const Link& l, NodeId p) { return l.peer < p; });
+  if (it == links_.end() || it->peer != peer) return;
   trace(sim_.now(), TraceCategory::d2d, owner_,
         "link down with #" + std::to_string(peer.value));
   links_.erase(it);
@@ -181,19 +197,20 @@ void WifiDirectRadio::break_link(NodeId peer, bool notify_peer) {
 void WifiDirectRadio::disconnect(NodeId peer) { break_link(peer, true); }
 
 void WifiDirectRadio::disconnect_all() {
+  // links_ is NodeId-sorted, so teardown notifications fire in
+  // deterministic peer order (snapshot first: break_link mutates links_).
   std::vector<NodeId> peers;
   peers.reserve(links_.size());
-  for (const auto& [peer, group] : links_) peers.push_back(peer);
+  for (const Link& link : links_) peers.push_back(link.peer);
   for (const NodeId peer : peers) break_link(peer, true);
 }
 
 void WifiDirectRadio::poll_links() {
-  // One grid radius query answers the whole sweep; sort the link set so
-  // breaks happen in NodeId order regardless of map iteration order.
+  // One O(links) sweep; links_ is already NodeId-sorted, so breaks
+  // happen in deterministic peer order.
   std::vector<NodeId> peers;
   peers.reserve(links_.size());
-  for (const auto& [peer, group] : links_) peers.push_back(peer);
-  std::sort(peers.begin(), peers.end());
+  for (const Link& link : links_) peers.push_back(link.peer);
   for (const NodeId peer : medium_.lost_peers(owner_, peers)) {
     break_link(peer, true);
   }

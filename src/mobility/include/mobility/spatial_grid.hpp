@@ -81,6 +81,8 @@ class PointGrid {
 
   double cell_size_;
   std::vector<Point> points_;
+  // detlint: allow(unordered-state): buckets are looked up by key only,
+  // never iterated; query results are sorted before they escape.
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
 };
 
@@ -134,6 +136,14 @@ class SpatialGrid {
                            std::uint64_t epoch,
                            NodeId exclude = NodeId::invalid()) const;
 
+  /// Invariant audit (the D2DHB_AUDIT layer): refreshes to (t, epoch)
+  /// and verifies cache freshness and binning consistency — every
+  /// cached position matches its model at t, every slot's cell key
+  /// matches its cached position, every active node sits in exactly one
+  /// bucket (the right one), and `moving_` lists exactly the non-static
+  /// active nodes. Throws std::logic_error naming the violation.
+  void audit(TimePoint t, std::uint64_t epoch) const;
+
  private:
   struct Slot {
     const MobilityModel* model{nullptr};
@@ -153,6 +163,9 @@ class SpatialGrid {
   /// Dense slot table indexed by NodeId value (ids are contiguous from
   /// 1 in every scenario, so this is a flat array, not a hash).
   mutable std::vector<Slot> slots_;
+  // detlint: allow(unordered-state): key-only lookups; every query
+  // sorts its hits by NodeId before returning, so bucket layout never
+  // reaches sim-visible state (see determinism rules above).
   mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
       buckets_;
   /// Ids of nodes whose model is not static — the only ones refreshed.

@@ -256,6 +256,74 @@ void SpatialGrid::query_radius(Vec2 center, Meters radius, TimePoint t,
             });
 }
 
+namespace {
+[[noreturn]] void grid_audit_fail(const std::string& what) {
+  throw std::logic_error("SpatialGrid audit: " + what);
+}
+}  // namespace
+
+void SpatialGrid::audit(TimePoint t, std::uint64_t epoch) const {
+  refresh(t, epoch);
+  if (!cache_primed_ || cached_time_ != t || cached_epoch_ != epoch) {
+    grid_audit_fail("cache not fresh after refresh (epoch key ignored)");
+  }
+  std::size_t active_seen = 0;
+  std::size_t moving_seen = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    if (slot.model == nullptr) continue;
+    ++active_seen;
+    const Vec2 truth = slot.model->position_at(t);
+    if (slot.cached.x != truth.x || slot.cached.y != truth.y) {
+      grid_audit_fail("node #" + std::to_string(id) +
+                      " cached position is stale at the refreshed time");
+    }
+    const std::uint64_t cell =
+        detail::cell_key(detail::cell_coord(slot.cached.x, cell_size_),
+                         detail::cell_coord(slot.cached.y, cell_size_));
+    if (cell != slot.cell) {
+      grid_audit_fail("node #" + std::to_string(id) +
+                      " cell key does not match its cached position");
+    }
+    const auto bucket_it = buckets_.find(slot.cell);
+    if (bucket_it == buckets_.end()) {
+      grid_audit_fail("node #" + std::to_string(id) +
+                      " cell has no bucket");
+    }
+    const auto& bucket = bucket_it->second;
+    if (std::count(bucket.begin(), bucket.end(),
+                   static_cast<std::uint32_t>(id)) != 1) {
+      grid_audit_fail("node #" + std::to_string(id) +
+                      " is not binned exactly once in its bucket");
+    }
+    const bool moving =
+        std::find(moving_.begin(), moving_.end(),
+                  static_cast<std::uint32_t>(id)) != moving_.end();
+    if (moving == slot.is_static) {
+      grid_audit_fail("node #" + std::to_string(id) +
+                      " static flag disagrees with the moving list");
+    }
+    if (moving) ++moving_seen;
+  }
+  if (active_seen != active_) {
+    grid_audit_fail("active slot count " + std::to_string(active_seen) +
+                    " != size() " + std::to_string(active_));
+  }
+  if (moving_seen != moving_.size()) {
+    grid_audit_fail("moving list holds nodes that are not active");
+  }
+  // Order-insensitive total: a node binned into a *wrong* bucket shows
+  // up here as an excess entry even though its own-bucket check passed.
+  std::size_t binned = 0;
+  // detlint: allow(unordered-iter): audit-only commutative sum — the
+  // result is independent of bucket iteration order.
+  for (const auto& [cell, bucket] : buckets_) binned += bucket.size();
+  if (binned != active_) {
+    grid_audit_fail("bucket membership total " + std::to_string(binned) +
+                    " != active node count " + std::to_string(active_));
+  }
+}
+
 std::size_t SpatialGrid::count_within(Vec2 center, Meters radius,
                                       TimePoint t, std::uint64_t epoch,
                                       NodeId exclude) const {

@@ -14,6 +14,8 @@
 namespace d2dhb::runner {
 
 std::size_t default_thread_count() {
+  // Read before any worker thread starts, so getenv cannot race setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("D2DHB_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -71,6 +73,8 @@ std::vector<std::uint64_t> parse_seed_list(const std::string& spec) {
 
 std::vector<std::uint64_t> seeds_from_env(
     std::vector<std::uint64_t> fallback) {
+  // Read before any worker thread starts, so getenv cannot race setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("D2DHB_SEEDS")) {
     if (*env != '\0') return parse_seed_list(env);
   }

@@ -16,7 +16,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -34,6 +35,12 @@ struct EventId {
   std::uint64_t value{0};
   constexpr auto operator<=>(const EventId&) const = default;
   constexpr bool valid() const { return value != 0; }
+};
+
+/// Thrown when an invariant audit fails (see Simulator::audit()). The
+/// message names the violated invariant and the offending slot/entry.
+struct AuditError : std::logic_error {
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
 };
 
 class Simulator {
@@ -85,6 +92,42 @@ class Simulator {
   /// Number of live (scheduled, not yet fired or cancelled) events.
   std::size_t pending_events() const { return live_; }
 
+  // --- Invariant auditing -------------------------------------------------
+  //
+  // The audit layer re-derives the kernel's bookkeeping from scratch and
+  // throws AuditError on any mismatch: slot/heap cross-references, armed
+  // counts vs live_, generation validity, free-list integrity, and the
+  // heap ordering property. Substrates (WifiDirectMedium, SpatialGrid
+  // consumers) register their own auditors; all auditors run together
+  // every `audit_interval` executed events. Builds configured with
+  // -DD2DHB_AUDIT=ON enable the periodic sweep by default; it is off in
+  // normal builds (audit() itself is always available for tests).
+
+  /// External invariant check, run after the kernel self-audit.
+  using Auditor = std::function<void()>;
+
+  /// Registers `fn`; returns a token for remove_auditor(). Auditors run
+  /// in registration order.
+  std::uint64_t add_auditor(Auditor fn);
+  void remove_auditor(std::uint64_t token);
+
+  /// Runs the kernel self-audit plus every registered auditor once.
+  /// Throws AuditError (kernel) or whatever the auditor throws.
+  void audit() const;
+
+  /// Audits automatically every `every_n_events` executed events
+  /// (0 disables). D2DHB_AUDIT builds default to kDefaultAuditInterval.
+  void set_audit_interval(std::uint64_t every_n_events) {
+    audit_interval_ = every_n_events;
+  }
+  std::uint64_t audit_interval() const { return audit_interval_; }
+
+  static constexpr std::uint64_t kDefaultAuditInterval = 2048;
+
+  /// Test-only: zeroes a slot's generation counter so audit() trips its
+  /// "generation must be non-zero" invariant. Never call outside tests.
+  void debug_corrupt_slot_generation(std::uint32_t slot);
+
  private:
   struct Scheduled {
     TimePoint when;
@@ -109,15 +152,25 @@ class Simulator {
   /// still in the heap, which is what makes stale-handle detection work.
   void retire(std::uint32_t slot);
 
+  void push_entry(Scheduled entry);
+  Scheduled pop_entry();
+  void maybe_audit();
+
   std::unique_ptr<metrics::MetricsRegistry> metrics_;
   TimePoint now_{};
   std::uint64_t time_epoch_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   std::size_t live_{0};
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
+  /// Binary heap managed with std::push_heap/pop_heap (the same
+  /// algorithms std::priority_queue uses, so ordering is identical);
+  /// kept as a plain vector so audit() can walk the entries.
+  std::vector<Scheduled> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::uint64_t audit_interval_{0};
+  std::uint64_t next_auditor_token_{1};
+  std::vector<std::pair<std::uint64_t, Auditor>> auditors_;
 };
 
 /// Repeating timer built on the simulator. Survives cancellation and

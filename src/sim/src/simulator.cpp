@@ -1,7 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <stdexcept>
 #include <utility>
 
 #include "metrics/registry.hpp"
@@ -9,7 +9,11 @@
 namespace d2dhb::sim {
 
 Simulator::Simulator()
-    : metrics_(std::make_unique<metrics::MetricsRegistry>()) {}
+    : metrics_(std::make_unique<metrics::MetricsRegistry>()) {
+#ifdef D2DHB_AUDIT
+  audit_interval_ = kDefaultAuditInterval;
+#endif
+}
 
 Simulator::~Simulator() = default;
 
@@ -24,6 +28,18 @@ constexpr std::uint32_t id_gen(std::uint64_t value) {
   return static_cast<std::uint32_t>(value >> 32);
 }
 }  // namespace
+
+void Simulator::push_entry(Scheduled entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Scheduled Simulator::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Scheduled entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
 
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   if (t < now_) {
@@ -41,7 +57,7 @@ EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   assert(!s.armed);
   s.fn = std::move(fn);
   s.armed = true;
-  heap_.push(Scheduled{t, next_seq_++, slot});
+  push_entry(Scheduled{t, next_seq_++, slot});
   ++live_;
   return EventId{make_id(slot, s.gen)};
 }
@@ -72,10 +88,13 @@ void Simulator::retire(std::uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
+void Simulator::maybe_audit() {
+  if (audit_interval_ != 0 && executed_ % audit_interval_ == 0) audit();
+}
+
 bool Simulator::step() {
   while (!heap_.empty()) {
-    const Scheduled top = heap_.top();
-    heap_.pop();
+    const Scheduled top = pop_entry();
     Slot& s = slots_[top.slot];
     if (!s.armed) {  // Cancelled: recycle the slot, keep scanning.
       retire(top.slot);
@@ -93,6 +112,7 @@ bool Simulator::step() {
     ++executed_;
     --live_;
     fn();
+    maybe_audit();
     return true;
   }
   return false;
@@ -107,9 +127,9 @@ void Simulator::run(std::uint64_t max_events) {
 void Simulator::run_until(TimePoint t) {
   while (!heap_.empty()) {
     // Peek past cancelled entries.
-    const Scheduled top = heap_.top();
+    const Scheduled top = heap_.front();
     if (!slots_[top.slot].armed) {
-      heap_.pop();
+      pop_entry();
       retire(top.slot);
       continue;
     }
@@ -120,6 +140,106 @@ void Simulator::run_until(TimePoint t) {
     now_ = t;
     ++time_epoch_;
   }
+}
+
+std::uint64_t Simulator::add_auditor(Auditor fn) {
+  const std::uint64_t token = next_auditor_token_++;
+  auditors_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Simulator::remove_auditor(std::uint64_t token) {
+  std::erase_if(auditors_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+void Simulator::debug_corrupt_slot_generation(std::uint32_t slot) {
+  if (slot < slots_.size()) slots_[slot].gen = 0;
+}
+
+namespace {
+[[noreturn]] void audit_fail(const std::string& what) {
+  throw AuditError("Simulator audit: " + what);
+}
+}  // namespace
+
+void Simulator::audit() const {
+  // 1. Slot table: generations valid, armed <=> callback present.
+  std::size_t armed = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.gen == 0) {
+      audit_fail("slot " + std::to_string(i) +
+                 " has generation 0 (generations start at 1)");
+    }
+    if (s.armed && !s.fn) {
+      audit_fail("armed slot " + std::to_string(i) + " has no callback");
+    }
+    if (!s.armed && s.fn) {
+      audit_fail("disarmed slot " + std::to_string(i) +
+                 " still holds a callback");
+    }
+    if (s.armed) ++armed;
+  }
+  if (armed != live_) {
+    audit_fail("armed slot count " + std::to_string(armed) +
+               " != live event count " + std::to_string(live_));
+  }
+
+  // 2. Heap: ordering property holds, every entry references a valid
+  //    slot exactly once, armed slots all have their entry in the heap.
+  if (!std::is_heap(heap_.begin(), heap_.end(), Later{})) {
+    audit_fail("event heap violates the heap ordering property");
+  }
+  std::vector<std::uint8_t> heap_refs(slots_.size(), 0);
+  for (const Scheduled& e : heap_) {
+    if (e.slot >= slots_.size()) {
+      audit_fail("heap entry references out-of-range slot " +
+                 std::to_string(e.slot));
+    }
+    if (e.seq >= next_seq_) {
+      audit_fail("heap entry for slot " + std::to_string(e.slot) +
+                 " has sequence number from the future");
+    }
+    if (heap_refs[e.slot]++ != 0) {
+      audit_fail("slot " + std::to_string(e.slot) +
+                 " appears more than once in the heap");
+    }
+    if (slots_[e.slot].armed && e.when < now_) {
+      audit_fail("armed heap entry for slot " + std::to_string(e.slot) +
+                 " is scheduled in the past");
+    }
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].armed && heap_refs[i] == 0) {
+      audit_fail("armed slot " + std::to_string(i) +
+                 " has no heap entry");
+    }
+  }
+
+  // 3. Free list: in-range, unique, disarmed, and not referenced by the
+  //    heap (a slot is only retired once its heap entry was popped).
+  std::vector<std::uint8_t> freed(slots_.size(), 0);
+  for (const std::uint32_t slot : free_slots_) {
+    if (slot >= slots_.size()) {
+      audit_fail("free list references out-of-range slot " +
+                 std::to_string(slot));
+    }
+    if (freed[slot]++ != 0) {
+      audit_fail("slot " + std::to_string(slot) +
+                 " appears more than once in the free list");
+    }
+    if (slots_[slot].armed) {
+      audit_fail("free-listed slot " + std::to_string(slot) + " is armed");
+    }
+    if (heap_refs[slot] != 0) {
+      audit_fail("free-listed slot " + std::to_string(slot) +
+                 " still has a heap entry");
+    }
+  }
+
+  // 4. Registered substrate auditors, in registration order.
+  for (const auto& [token, fn] : auditors_) fn();
 }
 
 PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period,

@@ -1,0 +1,7 @@
+// Fixture: a suppression with no justification still suppresses its
+// target rule, but fires allow-no-reason — suppressions must say why.
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, int> cells_;  // detlint: allow(unordered-state)
+};

@@ -1,0 +1,19 @@
+// Fixture: known-bad — wall-clock reads and non-reproducible RNG.
+// Expected rules per line are asserted by test_detlint.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double jitter_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  const int noise = rand() % 7;
+  std::random_device entropy;
+  std::mt19937 engine(entropy());
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t0;
+  (void)t1;
+  (void)engine;
+  return static_cast<double>(noise) + static_cast<double>(clock());
+}

@@ -1,0 +1,11 @@
+// Fixture: known-bad — ordered containers keyed on pointers iterate in
+// allocation-address order, which changes run to run.
+#include <map>
+#include <set>
+
+struct Node {};
+
+struct Registry {
+  std::map<Node*, int> ranks_;
+  std::set<const Node*> seen_;
+};

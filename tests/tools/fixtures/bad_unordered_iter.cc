@@ -1,0 +1,22 @@
+// Fixture: known-bad — unordered container state + sim-visible
+// iteration + float accumulation over hash-bucket order.
+// Expected: unordered-state(8), unordered-iter(12), float-accum(13),
+// unordered-iter(18) — line numbers asserted by test_detlint.cpp.
+#include <unordered_map>
+
+struct EnergyBook {
+  std::unordered_map<unsigned, double> charges_;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [node, charge] : charges_) {
+      sum += charge;
+    }
+    return sum;
+  }
+  void drain() {
+    for (auto it = charges_.begin(); it != charges_.end(); ++it) {
+      it->second = 0.0;
+    }
+  }
+};

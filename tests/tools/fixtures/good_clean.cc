@@ -1,0 +1,33 @@
+// Fixture: known-good — deterministic patterns that must NOT fire:
+// sorted containers, value-keyed maps, seeded RNG via common/rng
+// idiom, sim-time reads, and rule tokens inside comments/strings
+// ("rand()", "steady_clock", std::unordered_map) that the stripper
+// must hide from the matcher.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next_u64() { return state_ *= 6364136223846793005ull; }
+  std::uint64_t state_;
+};
+
+struct Sim {
+  double now() const { return 0.0; }
+};
+
+double run(Sim& sim, std::uint64_t seed) {
+  const char* docs = "never call rand() or read steady_clock here";
+  Rng rng(seed);
+  std::map<std::uint64_t, double> charges;
+  charges[rng.next_u64() % 16] = 1.0;
+  std::vector<double> samples;
+  for (const auto& [node, charge] : charges) samples.push_back(charge);
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  (void)docs;
+  return sum + sim.now();
+}

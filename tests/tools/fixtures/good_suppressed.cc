@@ -1,0 +1,23 @@
+// Fixture: known-good — the same hazards as the bad fixtures, each
+// carrying a justified suppression (same line or the comment block
+// directly above). Expected: zero findings.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Buckets {
+  // detlint: allow(unordered-state): key-only lookups; query results
+  // are sorted before they escape this struct.
+  std::unordered_map<unsigned, int> index_;
+
+  std::unordered_set<unsigned> seen_;  // detlint: allow(unordered-state): membership tests only
+
+  int checksum() const {
+    int sum = 0;
+    // detlint: allow(unordered-iter, float-accum): commutative integer
+    // sum — the result is independent of iteration order.
+    for (const auto& [key, value] : index_) {
+      sum += value;
+    }
+    return sum;
+  }
+};

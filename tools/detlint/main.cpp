@@ -1,0 +1,98 @@
+// detlint CLI. Scans the given files/directories for determinism
+// hazards and exits non-zero when findings remain after suppressions —
+// the shape CI gates want. See detlint.hpp for the rule set.
+//
+//   detlint [--allowlist FILE] [--report FILE] [--list-rules] PATH...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+int usage(std::ostream& os) {
+  os << "usage: detlint [--allowlist FILE] [--report FILE] [--list-rules]\n"
+        "               PATH...\n"
+        "Scans C++ sources under each PATH for determinism hazards.\n"
+        "  --allowlist FILE  per-file rule exemptions (rule-id path-glob)\n"
+        "  --report FILE     also write findings (one per line) to FILE\n"
+        "  --list-rules      print the rule table and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace d2dhb::detlint;
+
+  Options options;
+  std::string report_path;
+  std::vector<std::filesystem::path> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : rules()) {
+        std::cout << rule.id << "  " << rule.summary << '\n';
+      }
+      return 0;
+    }
+    if (arg == "--allowlist") {
+      if (++i >= argc) return usage(std::cerr);
+      try {
+        Options loaded = load_allowlist(argv[i]);
+        options.allowlist.insert(options.allowlist.end(),
+                                 loaded.allowlist.begin(),
+                                 loaded.allowlist.end());
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--report") {
+      if (++i >= argc) return usage(std::cerr);
+      report_path = argv[i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option " << arg << '\n';
+      return usage(std::cerr);
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) return usage(std::cerr);
+
+  std::vector<Finding> findings;
+  try {
+    findings = scan_paths(paths, options);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  for (const Finding& f : findings) std::cout << f.to_string() << '\n';
+  std::cout << "detlint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << '\n';
+
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "detlint: cannot write report " << report_path << '\n';
+      return 2;
+    }
+    for (const Finding& f : findings) report << f.to_string() << '\n';
+    report << "detlint: " << findings.size() << " finding"
+           << (findings.size() == 1 ? "" : "s") << '\n';
+  }
+
+  return findings.empty() ? 0 : 1;
+}
