@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "scenario/crowd.hpp"
+#include "scenario/crowd_cli.hpp"
 
 namespace {
 
@@ -126,6 +127,16 @@ int main(int argc, char** argv) {
       bench::flag_number(argc, argv, "--compare", 0.0));
   const double compare_duration =
       bench::flag_number(argc, argv, "--compare-duration", 120.0);
+  // Shared crowd knobs (--shards, --duration, ...) overlay every point.
+  CliFlags crowd_flags{argc, argv};
+  auto with_overrides = [&crowd_flags, argv](CrowdConfig config) {
+    if (const std::string error = apply_crowd_flags(crowd_flags, config);
+        !error.empty()) {
+      std::cerr << argv[0] << ": " << error << '\n';
+      std::exit(2);
+    }
+    return config;
+  };
 
   bench::print_header(
       "Crowd scale: signaling and energy at deployment size (1 h runs)",
@@ -141,10 +152,11 @@ int main(int argc, char** argv) {
   if (smoke) {
     CrowdConfig point = scale_point(16);
     point.duration_s = 600.0;
-    sweep.point("16 phones (smoke)", point);
+    sweep.point("16 phones (smoke)", with_overrides(point));
   } else {
     for (const std::size_t phones : {24u, 48u, 96u}) {
-      sweep.point(std::to_string(phones) + " phones", scale_point(phones));
+      sweep.point(std::to_string(phones) + " phones",
+                  with_overrides(scale_point(phones)));
     }
   }
   sweep.seeds(bench::bench_seeds(101, smoke ? 2 : 5))
@@ -201,6 +213,7 @@ int main(int argc, char** argv) {
   sync.clusters = 2;
   sync.duration_s = 1800.0;
   sync.stagger_fraction = 0.01;
+  sync = with_overrides(sync);
   // Both arms are independent simulations — run them as parallel jobs.
   const runner::ExperimentRunner arms;
   const auto storm_cells = arms.run_jobs(2, [&](std::size_t arm) {

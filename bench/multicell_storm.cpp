@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "scenario/crowd.hpp"
+#include "scenario/crowd_cli.hpp"
 
 namespace {
 
@@ -43,13 +44,23 @@ int main(int argc, char** argv) {
       "every cell's peak");
   bench::announce_threads();
 
+  // Shared crowd knobs (--shards, --phones, ...) overlay the canned
+  // storm configuration.
+  CrowdConfig base = storm_config();
+  CliFlags flags{argc, argv};
+  if (const std::string error = apply_crowd_flags(flags, base);
+      !error.empty()) {
+    std::cerr << argv[0] << ": " << error << '\n';
+    return 2;
+  }
+
   runner::SweepRunner<CrowdConfig, StormCell> sweep(
       [](const CrowdConfig& base, std::uint64_t seed) {
         CrowdConfig config = base;
         config.seed = seed;
         return StormCell{run_d2d_crowd(config), run_original_crowd(config)};
       });
-  sweep.point("2x2 grid", storm_config())
+  sweep.point("2x2 grid", base)
       .seeds(bench::bench_seeds(7, 3))
       .metric("signaling saved",
               [](const StormCell& c) {

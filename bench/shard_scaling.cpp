@@ -1,0 +1,135 @@
+// Sharded-executor scaling: the same seeded crowd run on 1, 2, and 4
+// event kernels. Results are byte-identical by construction (the
+// shard-equivalence gate holds the executor to that); what varies is
+// the wall clock and the cross-shard traffic profile — how many events
+// crossed a kernel border, and the smallest slack between a cross-
+// shard post and its delivery time (the conservative lookahead a
+// parallel executor would have). Writes BENCH_shard_scaling.json like
+// perf_kernel writes its kernel report.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scenario/crowd.hpp"
+#include "scenario/crowd_cli.hpp"
+
+namespace {
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+struct ShardResult {
+  std::size_t shards{0};
+  double events_per_sec{0.0};
+  CrowdMetrics metrics;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --smoke shrinks the crowd for the CI artifact job; the usual crowd
+  // knobs (--phones, --duration, --seed, ...) override the base point.
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+
+  CrowdConfig config;
+  config.phones = smoke ? 24u : 96u;
+  config.relay_fraction = 0.2;
+  config.area_m = smoke ? 80.0 : 160.0;
+  config.clusters = 4;
+  config.duration_s = smoke ? 600.0 : 3600.0;
+  config.mobile = true;
+  config.reassess_interval_s = 60.0;
+  config.seed = 101;
+  CliFlags flags{argc, argv};
+  if (const std::string error = apply_crowd_flags(flags, config);
+      !error.empty()) {
+    std::cerr << "error: " << error << '\n';
+    return 2;
+  }
+  // One seeded run per shard count; D2DHB_SEEDS overrides the base
+  // seed like every other bench (first seed wins, malformed exits 2).
+  config.seed = bench::bench_seeds(config.seed, 1).front();
+
+  bench::print_header(
+      "Shard scaling: one crowd across 1/2/4 event kernels",
+      "n/a (substrate bench; results byte-identical at every shard "
+      "count)");
+
+  std::vector<ShardResult> results;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    CrowdConfig arm = config;
+    arm.shards = shards;
+    const auto t0 = std::chrono::steady_clock::now();
+    CrowdMetrics m = run_d2d_crowd(arm);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    results.push_back(ShardResult{
+        shards, s > 0.0 ? static_cast<double>(m.sim_events) / s : 0.0,
+        std::move(m)});
+  }
+
+  const CrowdMetrics& reference = results.front().metrics;
+  bool identical = true;
+  Table table{{"Shards", "Events/sec", "Sim events", "Cross-shard",
+               "Min slack (us)", "Identical"}};
+  for (const ShardResult& r : results) {
+    const bool same = r.metrics.total_l3 == reference.total_l3 &&
+                      r.metrics.sim_events == reference.sim_events &&
+                      r.metrics.total_radio_uah == reference.total_radio_uah;
+    identical = identical && same;
+    table.add_row({std::to_string(r.shards),
+                   Table::num(r.events_per_sec, 0),
+                   std::to_string(r.metrics.sim_events),
+                   std::to_string(r.metrics.cross_shard_posted),
+                   r.metrics.cross_shard_posted == 0
+                       ? "-"
+                       : std::to_string(r.metrics.cross_min_slack_us),
+                   same ? "yes" : "NO"});
+  }
+  bench::emit(table, "shard_scaling");
+  if (!identical) {
+    std::cerr << "error: sharded runs diverged from the 1-shard "
+                 "reference — the byte-identical contract is broken\n";
+  }
+
+  std::string path = "BENCH_shard_scaling.json";
+  if (const char* dir = std::getenv("D2DHB_CSV_DIR")) {
+    if (*dir != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+  } else {
+    out << "{\n"
+        << "  \"workload\": \"crowd_shard_scaling\",\n"
+        << "  \"phones\": " << config.phones << ",\n"
+        << "  \"duration_s\": " << config.duration_s << ",\n"
+        << "  \"sim_events\": " << reference.sim_events << ",\n"
+        << "  \"results_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"arms\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ShardResult& r = results[i];
+      out << "    {\"shards\": " << r.shards
+          << ", \"events_per_sec\": " << r.events_per_sec
+          << ", \"cross_shard_posted\": " << r.metrics.cross_shard_posted
+          << ", \"cross_shard_delivered\": "
+          << r.metrics.cross_shard_delivered
+          << ", \"cross_min_slack_us\": "
+          << (r.metrics.cross_shard_posted == 0
+                  ? 0
+                  : r.metrics.cross_min_slack_us)
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n"
+        << "}\n";
+    std::cout << "(json written to " << path << ")\n";
+  }
+  return identical ? 0 : 1;
+}

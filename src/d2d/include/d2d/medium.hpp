@@ -1,11 +1,14 @@
 // Shared Wi-Fi Direct medium: the "air" between radios.
 //
-// Tracks every registered radio with its mobility model, answers range
-// and discovery queries, and adds measurement noise to RSSI-derived
-// distance estimates (the pre-judgment input of Section III-C).
+// Tracks every registered radio, answers range and discovery queries,
+// and adds measurement noise to RSSI-derived distance estimates (the
+// pre-judgment input of Section III-C).
 //
-// Radios live in a dense slot table indexed by NodeId, and proximity
-// queries (discovery scans, range-exit sweeps) go through the
+// Node state (position source, D2D slot) lives in the world::NodeTable
+// dense-state layer shared with the Scenario and operator selection;
+// the medium itself keeps only a compact radio array, with the table's
+// d2d_slot column mapping NodeId → array index. Proximity queries
+// (discovery scans, range-exit sweeps) go through the
 // mobility::SpatialGrid world index instead of walking every radio —
 // the difference between O(population) and O(neighbourhood) per scan
 // at crowd scale. A legacy linear-scan path is kept behind
@@ -24,6 +27,7 @@
 #include "mobility/mobility.hpp"
 #include "mobility/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+#include "world/node_table.hpp"
 
 namespace d2dhb::d2d {
 
@@ -55,12 +59,17 @@ class WifiDirectMedium {
     /// neighbour-ring then covers every scan). Exposed for the grid
     /// ablation (`d2dhb_sim crowd --grid-cell`).
     double grid_cell_m{0.0};
-    /// Ablation: answer scans by walking the whole dense radio table
-    /// (in NodeId order) instead of querying the grid.
+    /// Ablation: answer scans by walking the whole node table (in
+    /// NodeId order) instead of querying the grid.
     bool legacy_scan{false};
   };
 
-  WifiDirectMedium(sim::Simulator& sim, Params params, Rng rng);
+  /// `nodes` is the world's shared dense-state table; radios attaching
+  /// to the medium register there (attach auto-adds rows for nodes the
+  /// scenario has not registered, so standalone radio tests need no
+  /// setup beyond passing a table).
+  WifiDirectMedium(sim::Simulator& sim, world::NodeTable& nodes,
+                   Params params, Rng rng);
   ~WifiDirectMedium();
   WifiDirectMedium(const WifiDirectMedium&) = delete;
   WifiDirectMedium& operator=(const WifiDirectMedium&) = delete;
@@ -76,11 +85,12 @@ class WifiDirectMedium {
   GroupId allocate_group() { return GroupId{next_group_++}; }
 
   /// Invariant audit (the D2DHB_AUDIT layer): checks the world index
-  /// (SpatialGrid::audit at the current sim time) and link-table
-  /// symmetry — for every attached radio, each link (peer, group) must
-  /// be mirrored by an identical link back from the peer. Registered
-  /// with the simulator's auditor list on construction, so audit builds
-  /// run it automatically every audit interval.
+  /// (SpatialGrid::audit at the current sim time), NodeTable↔radio-array
+  /// slot consistency in both directions, and link-table symmetry — for
+  /// every attached radio, each link (peer, group) must be mirrored by
+  /// an identical link back from the peer. Registered with the
+  /// simulator's auditor list on construction, so audit builds run it
+  /// automatically every audit interval.
   void audit() const;
 
   /// True distance between two registered radios right now.
@@ -95,32 +105,30 @@ class WifiDirectMedium {
 
   /// Range-exit sweep: which of `peers` are now gone (detached or out
   /// of range of `node`), in `peers`' order. O(links) exact distance
-  /// checks over the dense slot table — links are capped at
-  /// max_group_clients, so this beats a radius query per poll.
+  /// checks via the node table — links are capped at max_group_clients,
+  /// so this beats a radius query per poll.
   std::vector<NodeId> lost_peers(NodeId node,
                                  const std::vector<NodeId>& peers) const;
 
   WifiDirectRadio* radio(NodeId node) const;
   const Params& params() const { return params_; }
+  /// The shared dense node-state layer (home shards, positions, slots).
+  world::NodeTable& nodes() { return nodes_; }
+  const world::NodeTable& nodes() const { return nodes_; }
   /// The world index the medium maintains (exposed for diagnostics).
   const mobility::SpatialGrid& grid() const { return grid_; }
 
  private:
-  struct Entry {
-    WifiDirectRadio* radio{nullptr};
-    const mobility::MobilityModel* mobility{nullptr};
-  };
-
-  const Entry* entry_of(NodeId node) const;
   mobility::Vec2 checked_position(NodeId node) const;
 
   sim::Simulator& sim_;
+  world::NodeTable& nodes_;
   Params params_;
   Rng rng_;
-  /// Dense slot table indexed by NodeId value (node ids are contiguous
-  /// from 1 in every scenario).
-  std::vector<Entry> entries_;
-  std::size_t attached_{0};
+  /// Compact array of attached radios; the NodeTable's d2d_slot column
+  /// maps NodeId → index here. Detach swap-removes, so the array stays
+  /// dense no matter the attach/detach order.
+  std::vector<WifiDirectRadio*> radios_;
   mobility::SpatialGrid grid_;
   /// Scratch buffer for grid queries (avoids per-scan allocation).
   mutable std::vector<mobility::SpatialGrid::Neighbor> scratch_;

@@ -15,9 +15,14 @@ Meters grid_cell(const WifiDirectMedium::Params& params) {
 }
 }  // namespace
 
-WifiDirectMedium::WifiDirectMedium(sim::Simulator& sim, Params params,
+WifiDirectMedium::WifiDirectMedium(sim::Simulator& sim,
+                                   world::NodeTable& nodes, Params params,
                                    Rng rng)
-    : sim_(sim), params_(params), rng_(rng), grid_(grid_cell(params_)) {
+    : sim_(sim),
+      nodes_(nodes),
+      params_(params),
+      rng_(rng),
+      grid_(grid_cell(params_)) {
   auditor_token_ = sim_.add_auditor([this] { audit(); });
 }
 
@@ -25,9 +30,35 @@ WifiDirectMedium::~WifiDirectMedium() { sim_.remove_auditor(auditor_token_); }
 
 void WifiDirectMedium::audit() const {
   grid_.audit(sim_.now(), sim_.time_epoch());
-  for (std::uint64_t id = 1; id < entries_.size(); ++id) {
-    const WifiDirectRadio* radio = entries_[id].radio;
-    if (radio == nullptr) continue;
+  // Slot consistency: every radio-array entry points back at its slot
+  // through the table, and every table slot lands inside the array.
+  for (std::size_t slot = 0; slot < radios_.size(); ++slot) {
+    const WifiDirectRadio* radio = radios_[slot];
+    if (radio == nullptr) {
+      throw sim::AuditError("WifiDirectMedium audit: radio slot " +
+                            std::to_string(slot) + " is null");
+    }
+    if (!nodes_.contains(radio->owner()) ||
+        nodes_.d2d_slot(radio->owner()) != slot) {
+      throw sim::AuditError(
+          "WifiDirectMedium audit: node #" +
+          std::to_string(radio->owner().value) +
+          "'s d2d_slot column does not point back at radio slot " +
+          std::to_string(slot));
+    }
+  }
+  for (const NodeId node : nodes_.ids()) {
+    const std::uint32_t slot = nodes_.d2d_slot(node);
+    if (slot != world::kNoD2dSlot && slot >= radios_.size()) {
+      throw sim::AuditError("WifiDirectMedium audit: node #" +
+                            std::to_string(node.value) +
+                            " references out-of-range radio slot " +
+                            std::to_string(slot));
+    }
+  }
+  // Link symmetry over the attached radios.
+  for (const WifiDirectRadio* radio : radios_) {
+    const std::uint64_t id = radio->owner().value;
     for (const auto& link : radio->links_) {
       const WifiDirectRadio* peer = this->radio(link.peer);
       if (peer == nullptr) {
@@ -54,37 +85,41 @@ void WifiDirectMedium::attach(WifiDirectRadio& radio,
   if (!node.valid()) {
     throw std::invalid_argument("WifiDirectMedium: invalid node id");
   }
-  if (node.value >= entries_.size()) entries_.resize(node.value + 1);
-  Entry& entry = entries_[node.value];
-  if (entry.radio == nullptr) ++attached_;
-  entry = Entry{&radio, &mobility};
+  // Adds the row for scenario-less tests; for scenario phones the row
+  // already exists (same mobility model) and add() just re-points it.
+  nodes_.add(node, &mobility);
+  const std::uint32_t slot = nodes_.d2d_slot(node);
+  if (slot != world::kNoD2dSlot) {
+    radios_[slot] = &radio;  // re-attach replaces the radio in place
+  } else {
+    nodes_.set_d2d_slot(node, static_cast<std::uint32_t>(radios_.size()));
+    radios_.push_back(&radio);
+  }
   if (grid_.contains(node)) grid_.remove(node);
   grid_.insert(node, mobility);
 }
 
 void WifiDirectMedium::detach(NodeId node) {
-  if (node.value >= entries_.size()) return;
-  Entry& entry = entries_[node.value];
-  if (entry.radio == nullptr) return;
-  entry = Entry{};
-  --attached_;
+  if (!nodes_.contains(node)) return;
+  const std::uint32_t slot = nodes_.d2d_slot(node);
+  if (slot == world::kNoD2dSlot) return;
+  const std::size_t last = radios_.size() - 1;
+  if (slot != last) {
+    radios_[slot] = radios_[last];
+    nodes_.set_d2d_slot(radios_[slot]->owner(),
+                        static_cast<std::uint32_t>(slot));
+  }
+  radios_.pop_back();
+  nodes_.set_d2d_slot(node, world::kNoD2dSlot);
   grid_.remove(node);
 }
 
-const WifiDirectMedium::Entry* WifiDirectMedium::entry_of(
-    NodeId node) const {
-  if (node.value >= entries_.size()) return nullptr;
-  const Entry& entry = entries_[node.value];
-  return entry.radio == nullptr ? nullptr : &entry;
-}
-
 mobility::Vec2 WifiDirectMedium::checked_position(NodeId node) const {
-  const Entry* entry = entry_of(node);
-  if (entry == nullptr) {
+  if (radio(node) == nullptr) {
     throw std::out_of_range("WifiDirectMedium: unknown node #" +
                             std::to_string(node.value));
   }
-  return entry->mobility->position_at(sim_.now());
+  return nodes_.position_of(node, sim_.now());
 }
 
 mobility::Vec2 WifiDirectMedium::position_of(NodeId node) const {
@@ -101,34 +136,36 @@ bool WifiDirectMedium::in_range(NodeId a, NodeId b) const {
 
 std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
   std::vector<DiscoveredPeer> found;
-  const Entry* scanner_entry = entry_of(scanner);
-  if (scanner_entry == nullptr) return found;
-  const mobility::Vec2 origin =
-      scanner_entry->mobility->position_at(sim_.now());
+  if (radio(scanner) == nullptr) return found;
+  const mobility::Vec2 origin = nodes_.position_of(scanner, sim_.now());
 
   // Both paths visit peers in ascending NodeId order with identical
   // distance arithmetic and RNG draws, so a seeded run's behaviour is
   // bit-identical whichever one answers the scan (asserted by the
   // grid-equivalence integration test).
   auto admit = [&](NodeId node, Meters d) {
-    const Entry& entry = entries_[node.value];
-    if (!entry.radio->listening()) return;
+    const WifiDirectRadio* peer_radio = radios_[nodes_.d2d_slot(node)];
+    if (!peer_radio->listening()) return;
     if (rng_.chance(params_.discovery_miss_probability)) return;
     const double noise = rng_.normal(0.0, params_.rssi_noise_stddev_m);
     DiscoveredPeer peer;
     peer.node = node;
     peer.estimated_distance = Meters{std::max(0.0, d.value + noise)};
-    peer.advert = entry.radio->advert();
+    peer.advert = peer_radio->advert();
     found.push_back(peer);
   };
 
   if (params_.legacy_scan) {
-    for (std::uint64_t id = 1; id < entries_.size(); ++id) {
-      if (entries_[id].radio == nullptr || id == scanner.value) continue;
+    for (std::uint64_t id = 1; id < nodes_.id_limit(); ++id) {
+      const NodeId node{id};
+      if (id == scanner.value || !nodes_.contains(node) ||
+          nodes_.d2d_slot(node) == world::kNoD2dSlot) {
+        continue;
+      }
       const Meters d = mobility::distance(
-          origin, entries_[id].mobility->position_at(sim_.now()));
+          origin, nodes_.position_of(node, sim_.now()));
       if (d.value > params_.range.value) continue;
-      admit(NodeId{id}, d);
+      admit(node, d);
     }
     return found;
   }
@@ -145,18 +182,15 @@ std::vector<NodeId> WifiDirectMedium::lost_peers(
     NodeId node, const std::vector<NodeId>& peers) const {
   std::vector<NodeId> lost;
   if (peers.empty()) return lost;
-  const Entry* entry = entry_of(node);
-  if (entry == nullptr) return peers;  // we vanished: every link is gone
+  if (radio(node) == nullptr) return peers;  // we vanished: all links gone
   // Per-peer exact checks, same in both medium modes: a node's links
   // are bounded by max_group_clients (8), so O(links) distance checks
   // beat a radius query (O(neighbourhood), which in a dense cluster is
   // far larger) — and this sweep runs every poll tick for every radio.
-  const mobility::Vec2 origin = entry->mobility->position_at(sim_.now());
+  const mobility::Vec2 origin = nodes_.position_of(node, sim_.now());
   for (const NodeId peer : peers) {
-    const Entry* peer_entry = entry_of(peer);
-    if (peer_entry == nullptr ||
-        mobility::distance(origin,
-                           peer_entry->mobility->position_at(sim_.now()))
+    if (radio(peer) == nullptr ||
+        mobility::distance(origin, nodes_.position_of(peer, sim_.now()))
                 .value > params_.range.value) {
       lost.push_back(peer);
     }
@@ -165,8 +199,9 @@ std::vector<NodeId> WifiDirectMedium::lost_peers(
 }
 
 WifiDirectRadio* WifiDirectMedium::radio(NodeId node) const {
-  const Entry* entry = entry_of(node);
-  return entry == nullptr ? nullptr : entry->radio;
+  if (!nodes_.contains(node)) return nullptr;
+  const std::uint32_t slot = nodes_.d2d_slot(node);
+  return slot == world::kNoD2dSlot ? nullptr : radios_[slot];
 }
 
 }  // namespace d2dhb::d2d

@@ -246,8 +246,13 @@ void WifiDirectRadio::send(NodeId peer, net::D2dPayload payload,
         MilliAmps{other->profile_.control_receive.value * 3.6 / 0.2},
         milliseconds(200));
   }
-  sim_.schedule_after(
-      profile_.transfer_latency,
+  // The completion event belongs to the receiving side: when the peer
+  // is homed on another kernel, it crosses through that shard's mailbox
+  // (keeping its global sequence number, so execution order is the same
+  // as a direct schedule). Fire-and-forget — in-flight transfers are
+  // never cancelled, only re-checked for liveness on arrival.
+  sim_.post_after(
+      medium_.nodes().shard_of(peer), profile_.transfer_latency,
       [this, peer, payload = std::move(payload),
        callback = std::move(callback)] {
         WifiDirectRadio* other = medium_.radio(peer);

@@ -17,6 +17,11 @@ class Channel {
   struct Params {
     Duration latency{milliseconds(50)};
     double loss_probability{0.0};
+    /// Kernel hosting the receiving end. The BS -> IM-server backhaul
+    /// terminates at world-global machinery, which lives on shard 0 by
+    /// convention; deliveries cross through that shard's mailbox when
+    /// the sender is homed elsewhere.
+    std::uint32_t home_shard{0};
   };
 
   using Receiver = std::function<void(const UplinkBundle&)>;

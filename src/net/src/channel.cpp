@@ -13,11 +13,13 @@ bool Channel::send(UplinkBundle bundle) {
     ++dropped_;
     return false;
   }
-  sim_.schedule_after(params_.latency,
-                      [this, bundle = std::move(bundle)]() mutable {
-                        ++delivered_;
-                        if (receiver_) receiver_(bundle);
-                      });
+  // Delivery runs on the receiver's home kernel; post_after degenerates
+  // to a plain schedule when the sender is already homed there.
+  sim_.post_after(params_.home_shard, params_.latency,
+                  [this, bundle = std::move(bundle)]() mutable {
+                    ++delivered_;
+                    if (receiver_) receiver_(bundle);
+                  });
   return true;
 }
 

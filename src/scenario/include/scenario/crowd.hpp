@@ -57,6 +57,12 @@ struct CrowdConfig {
   /// Zero disables re-assessment. Periodic re-scans make discovery the
   /// dominant event class at scale — the scaling benches use this.
   double reassess_interval_s{0.0};
+  /// Event kernels the world is partitioned across (vertical strips of
+  /// the area; each phone's timers live on the kernel owning its
+  /// initial position). 1 = the classic single-kernel run. Metrics are
+  /// byte-identical for any value — the shard-equivalence gate holds
+  /// the executor to that.
+  std::size_t shards{1};
   std::uint64_t seed{7};
 };
 
@@ -85,6 +91,15 @@ struct CrowdMetrics {
   /// Simulator events executed by this run — the numerator of the
   /// events/sec scaling benches.
   std::uint64_t sim_events{0};
+  /// Cross-kernel mailbox traffic (plain counters, deliberately NOT in
+  /// the metrics registry: the registry snapshot must stay byte-
+  /// identical across shard counts). Zero in a 1-shard run.
+  std::uint64_t cross_shard_posted{0};
+  std::uint64_t cross_shard_delivered{0};
+  /// Smallest (when - post time) over cross-shard posts, in
+  /// microseconds (INT64_MAX when nothing crossed) — the conservative
+  /// lookahead available to a parallel executor.
+  std::int64_t cross_min_slack_us{INT64_MAX};
   /// Full registry snapshot taken at the end of the run (every counter,
   /// gauge, and histogram the substrates registered).
   metrics::Snapshot metrics;

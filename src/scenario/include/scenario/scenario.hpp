@@ -19,6 +19,8 @@
 #include "net/im_server.hpp"
 #include "radio/base_station.hpp"
 #include "sim/simulator.hpp"
+#include "world/node_table.hpp"
+#include "world/shard_plan.hpp"
 
 namespace d2dhb::scenario {
 
@@ -32,10 +34,17 @@ class Scenario {
     /// to the nearest site at creation time (cell selection; the
     /// simulation does not model handover between cells).
     std::vector<mobility::Vec2> cell_sites{};
+    /// Spatial partition of the world across event kernels. The default
+    /// (1 shard) is the classic single-kernel run; N > 1 homes each
+    /// phone's timers on the kernel owning its initial position and
+    /// routes border traffic through the shard mailboxes. Results are
+    /// byte-identical either way.
+    world::ShardPlan shard_plan{};
   };
 
   Scenario();
   explicit Scenario(Params params);
+  ~Scenario();
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
@@ -65,6 +74,11 @@ class Scenario {
   }
   /// Dense NodeId → phone lookup (nullptr for unknown ids).
   core::Phone* find_phone(NodeId node) const;
+
+  /// The world's dense node-state layer (positions, serving cells,
+  /// roles, battery levels, D2D slots, home shards).
+  world::NodeTable& nodes() { return table_; }
+  const world::NodeTable& nodes() const { return table_; }
 
   /// The world's unified metrics registry (owned by the simulator).
   metrics::MetricsRegistry& metrics() { return sim_.metrics(); }
@@ -111,19 +125,23 @@ class Scenario {
 
  private:
   Rng rng_;
+  world::ShardPlan shard_plan_;
   sim::Simulator sim_;
+  /// Declared before the medium: the medium (and through it every
+  /// radio) indexes into this table for positions and D2D slots.
+  world::NodeTable table_;
   d2d::WifiDirectMedium medium_;
   net::ImServer server_;
-  static constexpr std::uint32_t kNoCell = UINT32_MAX;
 
   std::vector<mobility::Vec2> sites_;
   std::vector<std::unique_ptr<radio::BaseStation>> cells_;
   /// Cell-site world index for nearest-cell attach.
   mobility::PointGrid site_grid_;
-  /// Per-node tables indexed by contiguous NodeId value (kNoCell /
-  /// nullptr marks ids that never went through add_phone).
-  std::vector<std::uint32_t> serving_cell_;
+  /// NodeId → phone, dense (nullptr marks ids that never went through
+  /// add_phone). Core-typed, so it stays here rather than in the
+  /// world-layer NodeTable.
   std::vector<core::Phone*> phone_by_id_;
+  std::uint64_t table_auditor_token_{0};
   core::IncentiveLedger ledger_;
   IdGenerator<NodeId> node_ids_;
   IdGenerator<MessageId> message_ids_;

@@ -6,6 +6,7 @@
 
 #include "core/operator_selection.hpp"
 #include "scenario/scenario.hpp"
+#include "world/sharded_world.hpp"
 
 namespace d2dhb::scenario {
 
@@ -30,7 +31,25 @@ Scenario::Params world_params(const CrowdConfig& config,
   params.medium.grid_cell_m = config.grid_cell_m;
   params.medium.legacy_scan = config.legacy_scan;
   params.cell_sites = std::move(sites);
+  params.shard_plan =
+      world::ShardPlan{config.shards, 0.0, config.area_m};
   return params;
+}
+
+/// Round-robin synchronization quantum of the sharded executor. Only
+/// horizon bookkeeping depends on it (results never do); 10 s sits
+/// comfortably between the millisecond cross-shard latencies and the
+/// 240-300 s heartbeat periods.
+constexpr Duration kShardWindow = seconds(10);
+
+void run_world(Scenario& world, const CrowdConfig& config) {
+  const TimePoint end = TimePoint{} + seconds(config.duration_s);
+  if (config.shards > 1) {
+    world::ShardedWorld executor{world.sim(), kShardWindow};
+    executor.run_until(end);
+  } else {
+    world.sim().run_until(end);
+  }
 }
 
 std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {
@@ -67,6 +86,11 @@ void collect_common(Scenario& world, const CrowdConfig& config,
   metrics.heartbeats_delivered = metrics.server.delivered;
   metrics.credits_issued = world.ledger().total_issued();
   metrics.sim_events = world.sim().executed_events();
+  for (std::uint32_t s = 0; s < world.sim().shard_count(); ++s) {
+    metrics.cross_shard_posted += world.sim().mailbox(s).posted();
+    metrics.cross_shard_delivered += world.sim().mailbox(s).delivered();
+  }
+  metrics.cross_min_slack_us = world.sim().cross_min_slack_us();
   metrics.metrics = world.metrics_snapshot();
   (void)config;
 }
@@ -131,6 +155,9 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
       params.scheduler.max_own_delay = config.app.heartbeat_period;
       core::RelayAgent& relay = world.add_relay(phone, params);
       world.register_session(phone, 3 * config.app.heartbeat_period);
+      // First beats are timers of the phone — home them on its kernel.
+      sim::ShardGuard guard(world.sim(),
+                            world.nodes().shard_of(phone.id()));
       relay.start(seconds(to_seconds(config.app.heartbeat_period) *
                           (0.1 + config.stagger_fraction * static_cast<double>(i) /
                                      static_cast<double>(config.phones))));
@@ -146,13 +173,15 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
       }
       core::UeAgent& ue = world.add_ue(phone, params);
       world.register_session(phone, 3 * config.app.heartbeat_period);
+      sim::ShardGuard guard(world.sim(),
+                            world.nodes().shard_of(phone.id()));
       ue.start(seconds(to_seconds(config.app.heartbeat_period) *
                        (0.1 + config.stagger_fraction * static_cast<double>(i) /
                                   static_cast<double>(config.phones))));
     }
   }
 
-  world.sim().run_until(TimePoint{} + seconds(config.duration_s));
+  run_world(world, config);
 
   CrowdMetrics metrics;
   metrics.relays = world.relays().size();
@@ -186,12 +215,14 @@ CrowdMetrics run_original_crowd(const CrowdConfig& config) {
     core::Phone& phone = world.add_phone(std::move(pc));
     core::OriginalAgent& agent = world.add_original(phone, config.app);
     world.register_session(phone, 3 * config.app.heartbeat_period);
+    sim::ShardGuard guard(world.sim(),
+                          world.nodes().shard_of(phone.id()));
     agent.start(seconds(to_seconds(config.app.heartbeat_period) *
                         (0.1 + config.stagger_fraction * static_cast<double>(i) /
                                    static_cast<double>(config.phones))));
   }
 
-  world.sim().run_until(TimePoint{} + seconds(config.duration_s));
+  run_world(world, config);
 
   CrowdMetrics metrics;
   metrics.relays = 0;

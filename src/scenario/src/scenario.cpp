@@ -33,7 +33,9 @@ Meters site_grid_cell(const std::vector<mobility::Vec2>& sites) {
 
 Scenario::Scenario(Params params)
     : rng_(params.seed),
-      medium_(sim_, params.medium, rng_.fork()),
+      shard_plan_(params.shard_plan),
+      sim_(shard_plan_.shards),
+      medium_(sim_, table_, params.medium, rng_.fork()),
       server_(sim_),
       sites_(params.cell_sites.empty()
                  ? std::vector<mobility::Vec2>{{0.0, 0.0}}
@@ -46,16 +48,18 @@ Scenario::Scenario(Params params)
     site_grid_.insert(i, sites_[i]);
   }
   ledger_.bind_metrics(sim_.metrics());
+  table_auditor_token_ = sim_.add_auditor([this] { table_.audit(); });
 }
 
+Scenario::~Scenario() { sim_.remove_auditor(table_auditor_token_); }
+
 std::size_t Scenario::cell_of(NodeId node) const {
-  if (node.value >= serving_cell_.size() ||
-      serving_cell_[node.value] == kNoCell) {
+  if (!table_.contains(node) || table_.cell_of(node) == world::kNoCell) {
     throw std::out_of_range(
         "Scenario::cell_of: node #" + std::to_string(node.value) +
         " is not a phone of this scenario (phones attach in add_phone)");
   }
-  return serving_cell_[node.value];
+  return table_.cell_of(node);
 }
 
 core::Phone* Scenario::find_phone(NodeId node) const {
@@ -87,20 +91,31 @@ core::Phone& Scenario::add_phone(core::PhoneConfig config) {
   // index, the same rule as a first-strictly-closer linear scan).
   const mobility::Vec2 at = config.mobility->position_at(sim_.now());
   const std::size_t best = site_grid_.nearest(at);
-  if (id.value >= serving_cell_.size()) {
-    serving_cell_.resize(id.value + 1, kNoCell);
+  // Register the node's world state BEFORE the phone exists: the radio
+  // attaches to the medium during Phone construction and must find its
+  // row (the mobility pointer is stable across the unique_ptr move).
+  table_.add(id, config.mobility.get());
+  table_.set_cell(id, static_cast<std::uint32_t>(best));
+  table_.set_shard(id, shard_plan_.shard_for(at));
+  if (id.value >= phone_by_id_.size()) {
     phone_by_id_.resize(id.value + 1, nullptr);
   }
-  serving_cell_[id.value] = static_cast<std::uint32_t>(best);
-  phones_.push_back(std::make_unique<core::Phone>(
-      sim_, id, std::move(config), medium_, cells_[best]->signaling(),
-      rng_.fork()));
+  {
+    // Home the phone's timers (RRC, link monitor, agent beats) on its
+    // shard's kernel.
+    sim::ShardGuard guard(sim_, table_.shard_of(id));
+    phones_.push_back(std::make_unique<core::Phone>(
+        sim_, id, std::move(config), medium_, cells_[best]->signaling(),
+        rng_.fork()));
+  }
   phone_by_id_[id.value] = phones_.back().get();
   return *phones_.back();
 }
 
 core::RelayAgent& Scenario::add_relay(core::Phone& phone,
                                       core::RelayAgent::Params params) {
+  table_.set_role(phone.id(), world::NodeRole::relay);
+  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   relays_.push_back(std::make_unique<core::RelayAgent>(
       sim_, phone, std::move(params), serving_bs(phone), message_ids_,
       &ledger_));
@@ -109,6 +124,8 @@ core::RelayAgent& Scenario::add_relay(core::Phone& phone,
 
 core::UeAgent& Scenario::add_ue(core::Phone& phone,
                                 core::UeAgent::Params params) {
+  table_.set_role(phone.id(), world::NodeRole::ue);
+  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   ues_.push_back(std::make_unique<core::UeAgent>(
       sim_, phone, std::move(params), serving_bs(phone), message_ids_,
       rng_.fork()));
@@ -117,6 +134,8 @@ core::UeAgent& Scenario::add_ue(core::Phone& phone,
 
 core::OriginalAgent& Scenario::add_original(core::Phone& phone,
                                             apps::AppProfile app) {
+  table_.set_role(phone.id(), world::NodeRole::original);
+  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   originals_.push_back(std::make_unique<core::OriginalAgent>(
       sim_, phone, std::move(app), serving_bs(phone), message_ids_));
   return *originals_.back();

@@ -1,0 +1,107 @@
+// Cross-kernel event queue for the sharded world.
+//
+// A ShardMailbox is the only channel through which an event executing
+// on one kernel may schedule work onto another (border D2D traffic,
+// cellular uplink into the shared core). It is deterministic by
+// construction: envelopes are kept sorted by (when, seq) — the same
+// global ordering key the kernels use — and delivery re-schedules each
+// envelope under its *original* sequence number, so a cross-shard event
+// lands in exactly the place it would have occupied had it been
+// scheduled directly (the byte-identical N-shard contract).
+//
+// Conservative lookahead: the mailbox tracks a horizon — the sync
+// point up to which its destination shard has already executed. Posts
+// below the horizon are refused (they would rewrite the past), and
+// drain_window() delivers strictly-before-horizon envelopes only, the
+// rule a parallel executor needs: a shard executing window [w, w+W)
+// may only be handed events for w+W and later at the next barrier.
+// The single-threaded executor drains eagerly (drain_into), which
+// preserves global order exactly; the windowed machinery is the
+// platform for the multi-threaded follow-up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_kernel.hpp"
+
+namespace d2dhb::sim {
+
+class ShardMailbox {
+ public:
+  using Callback = EventKernel::Callback;
+
+  /// Handle for cancelling a posted-but-undelivered envelope (a relay
+  /// withdrawing a cross-border transfer). Never zero when valid.
+  struct Ticket {
+    std::uint64_t value{0};
+    constexpr bool valid() const { return value != 0; }
+  };
+
+  explicit ShardMailbox(std::uint32_t to_shard) : to_shard_(to_shard) {}
+
+  std::uint32_t to_shard() const { return to_shard_; }
+
+  /// Posts an event for the destination shard at absolute time `when`
+  /// under the sender's already-drawn global sequence number. Throws
+  /// std::logic_error if `when` is below the horizon (the destination
+  /// has already synchronized past it).
+  Ticket post(TimePoint when, std::uint64_t seq, std::uint32_t from_shard,
+              Callback fn);
+
+  /// Cancels an undelivered envelope. Returns whether it was still
+  /// pending (false after delivery or double-cancel).
+  bool cancel(Ticket ticket);
+
+  /// Delivers every pending envelope into `kernel` (ascending
+  /// (when, seq) order), keeping original sequence numbers. The eager
+  /// path of the single-threaded executor. Returns envelopes delivered.
+  std::size_t drain_into(EventKernel& kernel);
+
+  /// Windowed delivery: delivers envelopes with when < `new_horizon`
+  /// and advances the horizon. An envelope exactly at the boundary
+  /// stays queued for the next window. Throws std::logic_error if the
+  /// horizon would move backwards. Returns envelopes delivered.
+  std::size_t drain_window(EventKernel& kernel, TimePoint new_horizon);
+
+  /// Everything with when < horizon() has been handed over.
+  TimePoint horizon() const { return horizon_; }
+
+  std::size_t pending() const { return box_.size(); }
+  std::uint64_t posted() const { return posted_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Invariant audit (runs under Simulator::audit()): envelopes sorted
+  /// strictly by (when, seq), none below the horizon, callbacks
+  /// present, and posted == delivered + cancelled + pending.
+  void audit() const;
+
+  /// Test-only: swaps the first two envelopes so audit() trips the
+  /// ordering invariant. Never call outside tests.
+  void debug_corrupt_order();
+
+ private:
+  struct Envelope {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint32_t from_shard;
+    std::uint64_t ticket;
+    Callback fn;
+  };
+
+  std::size_t deliver_prefix(EventKernel& kernel, std::size_t count);
+
+  std::uint32_t to_shard_;
+  /// Sorted ascending by (when, seq); seqs are globally unique so the
+  /// order is total and insertion-order independent.
+  std::vector<Envelope> box_;
+  TimePoint horizon_{};
+  std::uint64_t next_ticket_{1};
+  std::uint64_t posted_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t cancelled_{0};
+};
+
+}  // namespace d2dhb::sim

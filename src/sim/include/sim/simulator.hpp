@@ -1,16 +1,21 @@
-// Discrete-event simulation kernel.
+// World context for the discrete-event core.
 //
-// A single-threaded event loop over simulated time. Events scheduled for
-// the same instant run in scheduling order (FIFO), which keeps runs fully
-// deterministic for a fixed seed.
+// The slot/generation/heap machinery lives in sim::EventKernel; the
+// Simulator is the world wrapped around it — the global clock and time
+// epoch, the unified metrics registry, the invariant-audit harness, and
+// (new with the partition-ready split) the set of event kernels plus the
+// ShardMailboxes that connect them.
 //
-// Storage layout: callbacks live in a flat slot array indexed by the heap
-// entries, with a per-slot generation counter detecting stale handles.
-// Cancellation disarms the slot in O(1) and leaves the heap entry behind;
-// step() retires such tombstones lazily when they surface at the top.
-// schedule / cancel / step therefore do no hashing — this kernel is the
-// hot path of every experiment, and crowd-scale sweeps hammer it with
-// millions of schedule/cancel pairs (feedback timers, RRC timers).
+// A default-constructed Simulator owns exactly one kernel and behaves
+// byte-identically to the pre-split monolith. Constructed with N > 1
+// shards, it runs N kernels on one thread by merge-stepping: each step
+// drains every mailbox into its destination kernel, then executes the
+// kernel whose head event has the globally smallest (when, seq). All
+// kernels draw sequence numbers from one shared counter and cross-shard
+// deliveries keep their original sequence number, so the execution
+// order — and therefore every metric — is identical to the 1-shard run
+// for ANY partition of the nodes. That is the byte-identical contract
+// the shard-equivalence CI gate enforces.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,8 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/shard_mailbox.hpp"
 
 namespace d2dhb::metrics {
 class MetricsRegistry;
@@ -28,31 +35,20 @@ class MetricsRegistry;
 
 namespace d2dhb::sim {
 
-/// Handle for cancelling a scheduled event. Encodes slot index (low 32
-/// bits) and slot generation (high 32 bits); generations start at 1, so
-/// a valid handle is never zero.
-struct EventId {
-  std::uint64_t value{0};
-  constexpr auto operator<=>(const EventId&) const = default;
-  constexpr bool valid() const { return value != 0; }
-};
-
-/// Thrown when an invariant audit fails (see Simulator::audit()). The
-/// message names the violated invariant and the offending slot/entry.
-struct AuditError : std::logic_error {
-  explicit AuditError(const std::string& what) : std::logic_error(what) {}
-};
-
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventKernel::Callback;
 
-  Simulator();
+  /// `shards` kernels share one clock, one sequence counter, and one
+  /// metrics registry; shards > 1 adds one ShardMailbox per kernel.
+  explicit Simulator(std::size_t shards = 1);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current simulated time. Starts at the epoch (t = 0).
+  /// Current simulated time. Starts at the epoch (t = 0). This is the
+  /// world clock — the time of the most recently executed event across
+  /// all kernels; individual kernel clocks may lag it, never lead it.
   TimePoint now() const { return now_; }
 
   /// Monotone counter bumped whenever simulated time advances — the
@@ -67,6 +63,41 @@ class Simulator {
   metrics::MetricsRegistry& metrics() { return *metrics_; }
   const metrics::MetricsRegistry& metrics() const { return *metrics_; }
 
+  // --- Sharding -----------------------------------------------------------
+
+  std::size_t shard_count() const { return kernels_.size(); }
+
+  /// The shard whose kernel is executing (or, outside of step(), the
+  /// shard that schedule_at/schedule_after will target). Shard 0 hosts
+  /// world-global machinery (server, cells) by convention.
+  std::uint32_t current_shard() const { return current_shard_; }
+
+  /// Redirects subsequent schedule_* calls to `shard`'s kernel. Setup
+  /// code (Scenario::add_phone) uses this — via ShardGuard — so each
+  /// agent's timers are created on its home kernel; during event
+  /// execution the executing kernel is selected automatically.
+  void set_scheduling_shard(std::uint32_t shard);
+
+  EventKernel& kernel(std::uint32_t shard);
+  ShardMailbox& mailbox(std::uint32_t shard);
+
+  /// Schedules `fn` onto `shard` at absolute time `when` (>= now()).
+  /// Same-shard posts schedule directly; cross-shard posts go through
+  /// the destination's mailbox under a freshly drawn global sequence
+  /// number, so the event fires exactly where a direct schedule would
+  /// have placed it. Fire-and-forget: cross-shard events have no kernel
+  /// slot until delivery, so no EventId is returned — only events that
+  /// are never cancelled (in-flight transfers, deliveries) may cross.
+  void post_to(std::uint32_t shard, TimePoint when, Callback fn);
+  void post_after(std::uint32_t shard, Duration delay, Callback fn);
+
+  /// Smallest (when - now) over every cross-shard post so far, in
+  /// microseconds — the conservative lookahead actually available to a
+  /// windowed executor. INT64_MAX when nothing has crossed shards.
+  std::int64_t cross_min_slack_us() const { return cross_min_slack_us_; }
+
+  // --- Scheduling (current shard) -----------------------------------------
+
   /// Schedules `fn` at absolute time `t` (must be >= now()).
   EventId schedule_at(TimePoint t, Callback fn);
 
@@ -74,36 +105,41 @@ class Simulator {
   EventId schedule_after(Duration delay, Callback fn);
 
   /// Cancels a pending event. Safe to call for already-fired or already-
-  /// cancelled events; returns whether the event was still pending.
+  /// cancelled events; returns whether the event was still pending. The
+  /// id's shard bits route it to the kernel that issued it.
   bool cancel(EventId id);
 
-  /// Executes the next event, advancing time. Returns false if the queue
-  /// was empty.
+  /// Executes the globally next event (smallest (when, seq) across all
+  /// kernels, after draining mailboxes), advancing the world clock.
+  /// Returns false if every kernel and mailbox was empty.
   bool step();
 
-  /// Runs until the queue drains or `max_events` have executed.
+  /// Runs until the queues drain or `max_events` have executed.
   void run(std::uint64_t max_events = UINT64_MAX);
 
-  /// Runs events with time <= `t`, then advances the clock to exactly `t`
-  /// (so idle intervals at the end of an experiment are accounted for).
+  /// Runs events with time <= `t`, then advances the world clock and
+  /// every kernel clock to exactly `t` (so idle intervals at the end of
+  /// an experiment are accounted for).
   void run_until(TimePoint t);
 
-  std::uint64_t executed_events() const { return executed_; }
-  /// Number of live (scheduled, not yet fired or cancelled) events.
-  std::size_t pending_events() const { return live_; }
+  std::uint64_t executed_events() const;
+  /// Number of live (scheduled, not yet fired or cancelled) events,
+  /// including cross-shard events still waiting in mailboxes.
+  std::size_t pending_events() const;
 
   // --- Invariant auditing -------------------------------------------------
   //
-  // The audit layer re-derives the kernel's bookkeeping from scratch and
-  // throws AuditError on any mismatch: slot/heap cross-references, armed
-  // counts vs live_, generation validity, free-list integrity, and the
-  // heap ordering property. Substrates (WifiDirectMedium, SpatialGrid
-  // consumers) register their own auditors; all auditors run together
-  // every `audit_interval` executed events. Builds configured with
-  // -DD2DHB_AUDIT=ON enable the periodic sweep by default; it is off in
-  // normal builds (audit() itself is always available for tests).
+  // The audit layer re-derives the bookkeeping from scratch and throws
+  // AuditError on any mismatch: each kernel's slot/heap cross-references
+  // and ordering property, each mailbox's (when, seq) sort and horizon
+  // invariants, kernel clocks never ahead of the world clock. Substrates
+  // (WifiDirectMedium, NodeTable consumers) register their own auditors;
+  // all auditors run together every `audit_interval` executed events.
+  // Builds configured with -DD2DHB_AUDIT=ON enable the periodic sweep by
+  // default; it is off in normal builds (audit() itself is always
+  // available for tests).
 
-  /// External invariant check, run after the kernel self-audit.
+  /// External invariant check, run after the kernel self-audits.
   using Auditor = std::function<void()>;
 
   /// Registers `fn`; returns a token for remove_auditor(). Auditors run
@@ -111,8 +147,8 @@ class Simulator {
   std::uint64_t add_auditor(Auditor fn);
   void remove_auditor(std::uint64_t token);
 
-  /// Runs the kernel self-audit plus every registered auditor once.
-  /// Throws AuditError (kernel) or whatever the auditor throws.
+  /// Runs the kernel and mailbox self-audits plus every registered
+  /// auditor once. Throws AuditError or whatever the auditor throws.
   void audit() const;
 
   /// Audits automatically every `every_n_events` executed events
@@ -124,53 +160,48 @@ class Simulator {
 
   static constexpr std::uint64_t kDefaultAuditInterval = 2048;
 
-  /// Test-only: zeroes a slot's generation counter so audit() trips its
-  /// "generation must be non-zero" invariant. Never call outside tests.
+  /// Test-only: zeroes a kernel-0 slot's generation counter so audit()
+  /// trips its "generation must be non-zero" invariant. Never call
+  /// outside tests.
   void debug_corrupt_slot_generation(std::uint32_t slot);
 
  private:
-  struct Scheduled {
-    TimePoint when;
-    std::uint64_t seq;   ///< Tie-breaker: FIFO within the same instant.
-    std::uint32_t slot;  ///< Index into slots_.
-  };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-  struct Slot {
-    Callback fn;
-    std::uint32_t gen{1};
-    bool armed{false};
-  };
-
-  /// Bumps the slot generation (invalidating outstanding EventIds) and
-  /// returns it to the free list. Only called once the slot's heap entry
-  /// has been popped — a slot is never recycled while an entry for it is
-  /// still in the heap, which is what makes stale-handle detection work.
-  void retire(std::uint32_t slot);
-
-  void push_entry(Scheduled entry);
-  Scheduled pop_entry();
+  /// Delivers pending mailbox envelopes, picks the kernel with the
+  /// globally smallest head, and executes it. `limit` (when given)
+  /// stops before events later than it. Returns whether a step ran.
+  bool step_head(const TimePoint* limit);
+  void drain_mail();
   void maybe_audit();
 
   std::unique_ptr<metrics::MetricsRegistry> metrics_;
   TimePoint now_{};
   std::uint64_t time_epoch_{0};
   std::uint64_t next_seq_{0};
-  std::uint64_t executed_{0};
-  std::size_t live_{0};
-  /// Binary heap managed with std::push_heap/pop_heap (the same
-  /// algorithms std::priority_queue uses, so ordering is identical);
-  /// kept as a plain vector so audit() can walk the entries.
-  std::vector<Scheduled> heap_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t current_shard_{0};
+  std::int64_t cross_min_slack_us_{INT64_MAX};
+  std::vector<std::unique_ptr<EventKernel>> kernels_;
+  std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;
   std::uint64_t audit_interval_{0};
   std::uint64_t next_auditor_token_{1};
   std::vector<std::pair<std::uint64_t, Auditor>> auditors_;
+};
+
+/// RAII selector for the scheduling shard: setup code wraps per-agent
+/// construction in a ShardGuard so the agent's timers land on its home
+/// kernel, and the previous shard is restored on scope exit.
+class ShardGuard {
+ public:
+  ShardGuard(Simulator& sim, std::uint32_t shard)
+      : sim_(sim), previous_(sim.current_shard()) {
+    sim_.set_scheduling_shard(shard);
+  }
+  ~ShardGuard() { sim_.set_scheduling_shard(previous_); }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  Simulator& sim_;
+  std::uint32_t previous_;
 };
 
 /// Repeating timer built on the simulator. Survives cancellation and

@@ -1,0 +1,129 @@
+#include "sim/shard_mailbox.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace d2dhb::sim {
+
+namespace {
+struct EnvelopeOrder {
+  bool operator()(const std::pair<TimePoint, std::uint64_t>& key,
+                  const std::pair<TimePoint, std::uint64_t>& other) const {
+    if (key.first != other.first) return key.first < other.first;
+    return key.second < other.second;
+  }
+};
+}  // namespace
+
+ShardMailbox::Ticket ShardMailbox::post(TimePoint when, std::uint64_t seq,
+                                        std::uint32_t from_shard, Callback fn) {
+  if (when < horizon_) {
+    throw std::logic_error(
+        "ShardMailbox::post: event below the synchronization horizon "
+        "(destination shard has already executed past this time)");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ShardMailbox::post: empty callback");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  // Insert keeping box_ sorted by (when, seq). Posts arrive roughly in
+  // time order, so the scan from the back is short in practice.
+  Envelope env{when, seq, from_shard, ticket, std::move(fn)};
+  auto it = std::upper_bound(
+      box_.begin(), box_.end(), std::make_pair(when, seq),
+      [](const std::pair<TimePoint, std::uint64_t>& key, const Envelope& e) {
+        return EnvelopeOrder{}(key, {e.when, e.seq});
+      });
+  box_.insert(it, std::move(env));
+  ++posted_;
+  return Ticket{ticket};
+}
+
+bool ShardMailbox::cancel(Ticket ticket) {
+  if (!ticket.valid()) return false;
+  const auto it =
+      std::find_if(box_.begin(), box_.end(), [&](const Envelope& e) {
+        return e.ticket == ticket.value;
+      });
+  if (it == box_.end()) return false;
+  box_.erase(it);
+  ++cancelled_;
+  return true;
+}
+
+std::size_t ShardMailbox::deliver_prefix(EventKernel& kernel,
+                                         std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Envelope& e = box_[i];
+    kernel.schedule_with_seq(e.when, e.seq, std::move(e.fn));
+  }
+  box_.erase(box_.begin(), box_.begin() + static_cast<std::ptrdiff_t>(count));
+  delivered_ += count;
+  return count;
+}
+
+std::size_t ShardMailbox::drain_into(EventKernel& kernel) {
+  return deliver_prefix(kernel, box_.size());
+}
+
+std::size_t ShardMailbox::drain_window(EventKernel& kernel,
+                                       TimePoint new_horizon) {
+  if (new_horizon < horizon_) {
+    throw std::logic_error(
+        "ShardMailbox::drain_window: horizon may not move backwards");
+  }
+  // Strict comparison: an envelope exactly at the boundary belongs to
+  // the next window (its destination has only synchronized *up to* the
+  // horizon, exclusive).
+  const auto end = std::lower_bound(
+      box_.begin(), box_.end(), new_horizon,
+      [](const Envelope& e, TimePoint h) { return e.when < h; });
+  const auto count = static_cast<std::size_t>(end - box_.begin());
+  horizon_ = new_horizon;
+  return deliver_prefix(kernel, count);
+}
+
+void ShardMailbox::debug_corrupt_order() {
+  if (box_.size() >= 2) std::swap(box_[0], box_[1]);
+}
+
+namespace {
+[[noreturn]] void audit_fail(const std::string& what) {
+  throw AuditError("ShardMailbox audit: " + what);
+}
+}  // namespace
+
+void ShardMailbox::audit() const {
+  for (std::size_t i = 0; i < box_.size(); ++i) {
+    const Envelope& e = box_[i];
+    if (!e.fn) {
+      audit_fail("envelope " + std::to_string(i) + " has no callback");
+    }
+    if (e.when < horizon_) {
+      audit_fail("envelope " + std::to_string(i) +
+                 " is below the synchronization horizon");
+    }
+    if (e.ticket == 0 || e.ticket >= next_ticket_) {
+      audit_fail("envelope " + std::to_string(i) + " has an invalid ticket");
+    }
+    if (i > 0) {
+      const Envelope& prev = box_[i - 1];
+      const bool ordered = prev.when < e.when ||
+                           (prev.when == e.when && prev.seq < e.seq);
+      if (!ordered) {
+        audit_fail("envelopes " + std::to_string(i - 1) + " and " +
+                   std::to_string(i) + " violate the (when, seq) order");
+      }
+    }
+  }
+  if (posted_ != delivered_ + cancelled_ + box_.size()) {
+    audit_fail("posted " + std::to_string(posted_) +
+               " != delivered + cancelled + pending (" +
+               std::to_string(delivered_) + " + " + std::to_string(cancelled_) +
+               " + " + std::to_string(box_.size()) + ")");
+  }
+}
+
+}  // namespace d2dhb::sim

@@ -1,15 +1,25 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 #include "metrics/registry.hpp"
 
 namespace d2dhb::sim {
 
-Simulator::Simulator()
+Simulator::Simulator(std::size_t shards)
     : metrics_(std::make_unique<metrics::MetricsRegistry>()) {
+  if (shards == 0 || shards > EventKernel::kMaxShards) {
+    throw std::invalid_argument("Simulator: shard count must be in [1, " +
+                                std::to_string(EventKernel::kMaxShards) + "]");
+  }
+  kernels_.reserve(shards);
+  mailboxes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto shard = static_cast<std::uint32_t>(s);
+    kernels_.push_back(std::make_unique<EventKernel>(shard, &next_seq_));
+    mailboxes_.push_back(std::make_unique<ShardMailbox>(shard));
+  }
 #ifdef D2DHB_AUDIT
   audit_interval_ = kDefaultAuditInterval;
 #endif
@@ -17,49 +27,62 @@ Simulator::Simulator()
 
 Simulator::~Simulator() = default;
 
-namespace {
-constexpr std::uint64_t make_id(std::uint32_t slot, std::uint32_t gen) {
-  return (static_cast<std::uint64_t>(gen) << 32) | slot;
-}
-constexpr std::uint32_t id_slot(std::uint64_t value) {
-  return static_cast<std::uint32_t>(value & 0xffffffffu);
-}
-constexpr std::uint32_t id_gen(std::uint64_t value) {
-  return static_cast<std::uint32_t>(value >> 32);
-}
-}  // namespace
-
-void Simulator::push_entry(Scheduled entry) {
-  heap_.push_back(entry);
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void Simulator::set_scheduling_shard(std::uint32_t shard) {
+  if (shard >= kernels_.size()) {
+    throw std::out_of_range("Simulator::set_scheduling_shard: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  current_shard_ = shard;
 }
 
-Simulator::Scheduled Simulator::pop_entry() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const Scheduled entry = heap_.back();
-  heap_.pop_back();
-  return entry;
+EventKernel& Simulator::kernel(std::uint32_t shard) {
+  if (shard >= kernels_.size()) {
+    throw std::out_of_range("Simulator::kernel: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  return *kernels_[shard];
+}
+
+ShardMailbox& Simulator::mailbox(std::uint32_t shard) {
+  if (shard >= mailboxes_.size()) {
+    throw std::out_of_range("Simulator::mailbox: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  return *mailboxes_[shard];
+}
+
+void Simulator::post_to(std::uint32_t shard, TimePoint when, Callback fn) {
+  if (shard >= kernels_.size()) {
+    throw std::out_of_range("Simulator::post_to: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::post_to: time in the past");
+  }
+  if (shard == current_shard_) {
+    // Same kernel: an ordinary schedule, drawing the next global seq.
+    kernels_[shard]->schedule_at(when, std::move(fn));
+    return;
+  }
+  // Cross-shard: draw the sequence number NOW — the same one a direct
+  // schedule would have drawn — so delivery preserves the event's place
+  // in the global (when, seq) order (the byte-identical contract).
+  cross_min_slack_us_ = std::min(cross_min_slack_us_, (when - now_).count());
+  mailboxes_[shard]->post(when, next_seq_++, current_shard_, std::move(fn));
+}
+
+void Simulator::post_after(std::uint32_t shard, Duration delay, Callback fn) {
+  if (delay < Duration::zero()) {
+    throw std::invalid_argument("Simulator::post_after: negative delay");
+  }
+  post_to(shard, now_ + delay, std::move(fn));
 }
 
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
-  assert(!s.armed);
-  s.fn = std::move(fn);
-  s.armed = true;
-  push_entry(Scheduled{t, next_seq_++, slot});
-  ++live_;
-  return EventId{make_id(slot, s.gen)};
+  return kernels_[current_shard_]->schedule_at(t, std::move(fn));
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback fn) {
@@ -70,76 +93,81 @@ EventId Simulator::schedule_after(Duration delay, Callback fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  const std::uint32_t slot = id_slot(id.value);
-  if (slot >= slots_.size()) return false;
-  Slot& s = slots_[slot];
-  if (s.gen != id_gen(id.value) || !s.armed) return false;
-  // Disarm and drop the callback now (releasing its captures); the heap
-  // entry stays behind as a tombstone until it reaches the top.
-  s.armed = false;
-  s.fn = nullptr;
-  --live_;
-  return true;
+  const auto shard = static_cast<std::uint32_t>((id.value >> 32) & 0xffu);
+  if (shard >= kernels_.size()) return false;
+  return kernels_[shard]->cancel(id);
 }
 
-void Simulator::retire(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  if (++s.gen == 0) s.gen = 1;
-  free_slots_.push_back(slot);
+void Simulator::drain_mail() {
+  for (std::size_t s = 0; s < mailboxes_.size(); ++s) {
+    if (mailboxes_[s]->pending() != 0) {
+      mailboxes_[s]->drain_into(*kernels_[s]);
+    }
+  }
 }
 
 void Simulator::maybe_audit() {
-  if (audit_interval_ != 0 && executed_ % audit_interval_ == 0) audit();
+  if (audit_interval_ != 0 && executed_events() % audit_interval_ == 0) {
+    audit();
+  }
 }
 
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Scheduled top = pop_entry();
-    Slot& s = slots_[top.slot];
-    if (!s.armed) {  // Cancelled: recycle the slot, keep scanning.
-      retire(top.slot);
-      continue;
+bool Simulator::step_head(const TimePoint* limit) {
+  // New envelopes only appear while a callback runs, so one drain pass
+  // before head selection sees everything posted so far.
+  drain_mail();
+  std::size_t best = kernels_.size();
+  EventKernel::Head best_head{};
+  for (std::size_t s = 0; s < kernels_.size(); ++s) {
+    const auto head = kernels_[s]->peek();
+    if (!head) continue;
+    if (best == kernels_.size() || head->when < best_head.when ||
+        (head->when == best_head.when && head->seq < best_head.seq)) {
+      best = s;
+      best_head = *head;
     }
-    Callback fn = std::move(s.fn);
-    s.fn = nullptr;
-    s.armed = false;
-    retire(top.slot);
-    assert(top.when >= now_);
-    if (top.when != now_) {
-      now_ = top.when;
-      ++time_epoch_;
-    }
-    ++executed_;
-    --live_;
-    fn();
-    maybe_audit();
-    return true;
   }
-  return false;
+  if (best == kernels_.size()) return false;
+  if (limit != nullptr && best_head.when > *limit) return false;
+  if (best_head.when != now_) {
+    now_ = best_head.when;
+    ++time_epoch_;
+  }
+  current_shard_ = static_cast<std::uint32_t>(best);
+  kernels_[best]->step();
+  maybe_audit();
+  return true;
 }
+
+bool Simulator::step() { return step_head(nullptr); }
 
 void Simulator::run(std::uint64_t max_events) {
   for (std::uint64_t i = 0; i < max_events; ++i) {
-    if (!step()) return;
+    if (!step_head(nullptr)) return;
   }
 }
 
 void Simulator::run_until(TimePoint t) {
-  while (!heap_.empty()) {
-    // Peek past cancelled entries.
-    const Scheduled top = heap_.front();
-    if (!slots_[top.slot].armed) {
-      pop_entry();
-      retire(top.slot);
-      continue;
-    }
-    if (top.when > t) break;
-    step();
+  while (step_head(&t)) {
   }
   if (t > now_) {
     now_ = t;
     ++time_epoch_;
   }
+  for (auto& kernel : kernels_) kernel->advance_to(t);
+}
+
+std::uint64_t Simulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& kernel : kernels_) total += kernel->executed_events();
+  return total;
+}
+
+std::size_t Simulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& kernel : kernels_) total += kernel->pending_events();
+  for (const auto& mailbox : mailboxes_) total += mailbox->pending();
+  return total;
 }
 
 std::uint64_t Simulator::add_auditor(Auditor fn) {
@@ -154,91 +182,25 @@ void Simulator::remove_auditor(std::uint64_t token) {
 }
 
 void Simulator::debug_corrupt_slot_generation(std::uint32_t slot) {
-  if (slot < slots_.size()) slots_[slot].gen = 0;
+  kernels_[0]->debug_corrupt_slot_generation(slot);
 }
-
-namespace {
-[[noreturn]] void audit_fail(const std::string& what) {
-  throw AuditError("Simulator audit: " + what);
-}
-}  // namespace
 
 void Simulator::audit() const {
-  // 1. Slot table: generations valid, armed <=> callback present.
-  std::size_t armed = 0;
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    const Slot& s = slots_[i];
-    if (s.gen == 0) {
-      audit_fail("slot " + std::to_string(i) +
-                 " has generation 0 (generations start at 1)");
-    }
-    if (s.armed && !s.fn) {
-      audit_fail("armed slot " + std::to_string(i) + " has no callback");
-    }
-    if (!s.armed && s.fn) {
-      audit_fail("disarmed slot " + std::to_string(i) +
-                 " still holds a callback");
-    }
-    if (s.armed) ++armed;
-  }
-  if (armed != live_) {
-    audit_fail("armed slot count " + std::to_string(armed) +
-               " != live event count " + std::to_string(live_));
-  }
-
-  // 2. Heap: ordering property holds, every entry references a valid
-  //    slot exactly once, armed slots all have their entry in the heap.
-  if (!std::is_heap(heap_.begin(), heap_.end(), Later{})) {
-    audit_fail("event heap violates the heap ordering property");
-  }
-  std::vector<std::uint8_t> heap_refs(slots_.size(), 0);
-  for (const Scheduled& e : heap_) {
-    if (e.slot >= slots_.size()) {
-      audit_fail("heap entry references out-of-range slot " +
-                 std::to_string(e.slot));
-    }
-    if (e.seq >= next_seq_) {
-      audit_fail("heap entry for slot " + std::to_string(e.slot) +
-                 " has sequence number from the future");
-    }
-    if (heap_refs[e.slot]++ != 0) {
-      audit_fail("slot " + std::to_string(e.slot) +
-                 " appears more than once in the heap");
-    }
-    if (slots_[e.slot].armed && e.when < now_) {
-      audit_fail("armed heap entry for slot " + std::to_string(e.slot) +
-                 " is scheduled in the past");
-    }
-  }
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].armed && heap_refs[i] == 0) {
-      audit_fail("armed slot " + std::to_string(i) +
-                 " has no heap entry");
+  // 1. Each kernel's self-audit, plus the world-clock invariant: a
+  //    kernel's local clock may lag the world clock, never lead it.
+  for (const auto& kernel : kernels_) {
+    kernel->audit();
+    if (kernel->now() > now_) {
+      throw AuditError("Simulator audit: kernel " +
+                       std::to_string(kernel->shard()) +
+                       " clock is ahead of the world clock");
     }
   }
 
-  // 3. Free list: in-range, unique, disarmed, and not referenced by the
-  //    heap (a slot is only retired once its heap entry was popped).
-  std::vector<std::uint8_t> freed(slots_.size(), 0);
-  for (const std::uint32_t slot : free_slots_) {
-    if (slot >= slots_.size()) {
-      audit_fail("free list references out-of-range slot " +
-                 std::to_string(slot));
-    }
-    if (freed[slot]++ != 0) {
-      audit_fail("slot " + std::to_string(slot) +
-                 " appears more than once in the free list");
-    }
-    if (slots_[slot].armed) {
-      audit_fail("free-listed slot " + std::to_string(slot) + " is armed");
-    }
-    if (heap_refs[slot] != 0) {
-      audit_fail("free-listed slot " + std::to_string(slot) +
-                 " still has a heap entry");
-    }
-  }
+  // 2. Each mailbox's ordering/horizon/accounting invariants.
+  for (const auto& mailbox : mailboxes_) mailbox->audit();
 
-  // 4. Registered substrate auditors, in registration order.
+  // 3. Registered substrate auditors, in registration order.
   for (const auto& [token, fn] : auditors_) fn();
 }
 

@@ -1,0 +1,60 @@
+// The N-shard executor: runs a multi-kernel Simulator in round-robin
+// conservative time windows on one thread.
+//
+// Correctness does not depend on the window at all — the Simulator
+// merge-steps whichever kernel holds the globally smallest (when, seq)
+// head and drains mailboxes eagerly, so execution order (and every
+// metric) is byte-identical to the 1-shard run for any window and any
+// partition. What the windows add is the conservative-synchronization
+// bookkeeping a parallel executor needs: at each window boundary every
+// mailbox's horizon advances to the window start, enforcing (and
+// auditing) the rule that nothing may be posted into a shard's already-
+// executed past. The lookahead math is favourable: heartbeat periods
+// are 240–300 s while the latencies that cross shards (D2D transfer,
+// backhaul) are milliseconds, so windows of seconds still leave every
+// cross-shard event far beyond its destination's horizon — the
+// min-slack statistic below measures exactly how far, and is the input
+// for choosing the window of the multi-threaded follow-up.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace d2dhb::world {
+
+class ShardedWorld {
+ public:
+  struct Stats {
+    std::uint64_t windows{0};
+    /// Cross-shard envelopes posted / delivered over the run (summed
+    /// over all mailboxes; plain counters, never in the metrics
+    /// registry — the registry must stay byte-identical across shard
+    /// counts).
+    std::uint64_t cross_posted{0};
+    std::uint64_t cross_delivered{0};
+    /// Smallest (when - post time) over all cross-shard posts, in
+    /// microseconds; the conservative lookahead actually available.
+    /// INT64_MAX when nothing crossed.
+    std::int64_t min_slack_us{INT64_MAX};
+  };
+
+  /// `window` is the round-robin synchronization quantum. Must be
+  /// positive; it only affects horizon bookkeeping, never results.
+  ShardedWorld(sim::Simulator& sim, Duration window);
+
+  /// Runs the world to `t`, window by window, advancing every mailbox
+  /// horizon at each boundary.
+  void run_until(TimePoint t);
+
+  Duration window() const { return window_; }
+  Stats stats() const;
+
+ private:
+  sim::Simulator& sim_;
+  Duration window_;
+  std::uint64_t windows_{0};
+};
+
+}  // namespace d2dhb::world

@@ -9,7 +9,7 @@ namespace {
 
 class PhoneTest : public ::testing::Test {
  protected:
-  PhoneTest() : medium_(sim_, d2d::WifiDirectMedium::Params{}, Rng{1}) {}
+  PhoneTest() : medium_(sim_, nodes_, d2d::WifiDirectMedium::Params{}, Rng{1}) {}
 
   PhoneConfig config(mobility::Vec2 pos = {0.0, 0.0}) {
     PhoneConfig pc;
@@ -18,6 +18,7 @@ class PhoneTest : public ::testing::Test {
   }
 
   sim::Simulator sim_;
+  world::NodeTable nodes_;
   d2d::WifiDirectMedium medium_;
   radio::SignalingCounter signaling_;
 };

@@ -30,9 +30,10 @@ struct TestPhone {
 
 class MediumTest : public ::testing::Test {
  protected:
-  MediumTest() : medium_(sim_, WifiDirectMedium::Params{}, Rng{99}) {}
+  MediumTest() : medium_(sim_, nodes_, WifiDirectMedium::Params{}, Rng{99}) {}
 
   sim::Simulator sim_;
+  world::NodeTable nodes_;
   WifiDirectMedium medium_;
 };
 
@@ -94,7 +95,8 @@ TEST_F(MediumTest, DetachedRadioDisappears) {
 }
 
 TEST_F(MediumTest, DiscoveryMissProbabilityDropsPeers) {
-  WifiDirectMedium flaky{sim_,
+  world::NodeTable flaky_nodes;
+  WifiDirectMedium flaky{sim_, flaky_nodes,
                          WifiDirectMedium::Params{Meters{30.0}, 0.0, 1.0},
                          Rng{5}};
   TestPhone scanner{sim_, flaky, 1, {0.0, 0.0}};
@@ -128,7 +130,8 @@ TEST_F(MediumTest, LegacyScanAndGridScanAreIdenticalUnderOneSeed) {
     params.discovery_miss_probability = 0.3;
     params.legacy_scan = legacy;
     params.grid_cell_m = cell_m;
-    WifiDirectMedium medium{sim_, params, Rng{77}};
+    world::NodeTable nodes;
+    WifiDirectMedium medium{sim_, nodes, params, Rng{77}};
     std::vector<std::unique_ptr<TestPhone>> phones;
     phones.push_back(std::make_unique<TestPhone>(
         sim_, medium, 1, mobility::Vec2{0.0, 0.0}));
@@ -171,7 +174,8 @@ TEST_F(MediumTest, LostPeersFlagsDetachedAndOutOfRange) {
   // The legacy path answers the same sweep the same way.
   WifiDirectMedium::Params legacy_params;
   legacy_params.legacy_scan = true;
-  WifiDirectMedium legacy{sim_, legacy_params, Rng{99}};
+  world::NodeTable legacy_nodes;
+  WifiDirectMedium legacy{sim_, legacy_nodes, legacy_params, Rng{99}};
   TestPhone l_owner{sim_, legacy, 1, {0.0, 0.0}};
   TestPhone l_near{sim_, legacy, 2, {5.0, 0.0}};
   TestPhone l_far{sim_, legacy, 3, {100.0, 0.0}};

@@ -44,9 +44,10 @@ net::HeartbeatMessage heartbeat(std::uint64_t id, std::uint64_t origin) {
 
 class WifiDirectTest : public ::testing::Test {
  protected:
-  WifiDirectTest() : medium_(sim_, WifiDirectMedium::Params{}, Rng{77}) {}
+  WifiDirectTest() : medium_(sim_, nodes_, WifiDirectMedium::Params{}, Rng{77}) {}
 
   sim::Simulator sim_;
+  world::NodeTable nodes_;
   WifiDirectMedium medium_;
 };
 

@@ -91,7 +91,8 @@ class WifiFuzzTest : public ::testing::TestWithParam<int> {};
 TEST_P(WifiFuzzTest, RandomLinkOpsKeepSymmetry) {
   Rng rng{static_cast<std::uint64_t>(GetParam()) * 977};
   sim::Simulator sim;
-  d2d::WifiDirectMedium medium{sim, d2d::WifiDirectMedium::Params{},
+  world::NodeTable nodes;
+  d2d::WifiDirectMedium medium{sim, nodes, d2d::WifiDirectMedium::Params{},
                                Rng{42}};
   constexpr std::size_t kPhones = 6;
   std::vector<std::unique_ptr<FuzzPhone>> phones;
@@ -149,7 +150,8 @@ TEST(WifiGroupLimit, OwnerRefusesBeyondMaxClients) {
   sim::Simulator sim;
   d2d::WifiDirectMedium::Params params;
   params.max_group_clients = 2;
-  d2d::WifiDirectMedium medium{sim, params, Rng{1}};
+  world::NodeTable nodes;
+  d2d::WifiDirectMedium medium{sim, nodes, params, Rng{1}};
   FuzzPhone owner{sim, medium, 1, {0, 0}};
   owner.radio.set_group_owner_intent(d2d::kMaxGroupOwnerIntent);
   std::vector<std::unique_ptr<FuzzPhone>> clients;

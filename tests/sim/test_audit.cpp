@@ -15,6 +15,7 @@
 #include "mobility/mobility.hpp"
 #include "mobility/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+#include "world/node_table.hpp"
 
 namespace d2dhb::d2d {
 
@@ -112,6 +113,48 @@ TEST(SimulatorAudit, IntervalZeroDisablesPeriodicSweep) {
   EXPECT_EQ(audits, 1);
 }
 
+TEST(SimulatorAudit, SweepCoversEveryKernelAndMailbox) {
+  Simulator sim{4};
+  // Healthy cross-shard traffic passes: shard 0 posts into shard 3.
+  ShardGuard guard(sim, 0);
+  sim.post_to(3, TimePoint{} + seconds(5), [] {});
+  EXPECT_NO_THROW(sim.audit());
+  // A corrupted mailbox trips the same sweep.
+  sim.post_to(3, TimePoint{} + seconds(2), [] {});
+  sim.mailbox(3).debug_corrupt_order();
+  EXPECT_THROW(sim.audit(), AuditError);
+}
+
+TEST(SimulatorAudit, CorruptedShardKernelTripsWorldAudit) {
+  Simulator sim{2};
+  // Schedule onto kernel 1, then corrupt that kernel's slot table: the
+  // world-level sweep must reach non-zero shards too.
+  ShardGuard guard(sim, 1);
+  const EventId id = sim.schedule_after(seconds(1), [] {});
+  ASSERT_EQ((id.value >> 32) & 0xffu, 1u);
+  sim.kernel(1).debug_corrupt_slot_generation(
+      static_cast<std::uint32_t>(id.value & 0xffffffffu));
+  EXPECT_THROW(sim.audit(), AuditError);
+}
+
+TEST(NodeTableAudit, RegisteredTableAuditorTripsOnDuplicateSlots) {
+  Simulator sim;
+  sim.set_audit_interval(1);
+  world::NodeTable table;
+  sim.add_auditor([&table] { table.audit(); });
+  mobility::StaticMobility still{mobility::Vec2{0.0, 0.0}};
+  table.add(NodeId{1}, &still);
+  table.add(NodeId{2}, &still);
+  sim.schedule_after(seconds(1), [] {});
+  EXPECT_NO_THROW(sim.run());
+  // Two nodes claiming one D2D radio slot is the cross-substrate
+  // corruption the table auditor exists to catch.
+  table.set_d2d_slot(NodeId{1}, 0);
+  table.set_d2d_slot(NodeId{2}, 0);
+  sim.schedule_after(seconds(1), [] {});
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
 TEST(SpatialGridAudit, HealthyGridPassesAcrossMovementAndRemoval) {
   mobility::SpatialGrid grid(Meters{30.0});
   mobility::StaticMobility fixed(mobility::Vec2{5.0, 5.0});
@@ -142,7 +185,8 @@ class MediumAuditTest : public ::testing::Test {
     d2d::WifiDirectRadio radio;
   };
 
-  MediumAuditTest() : medium_(sim_, d2d::WifiDirectMedium::Params{}, Rng{7}) {}
+  MediumAuditTest()
+      : medium_(sim_, nodes_, d2d::WifiDirectMedium::Params{}, Rng{7}) {}
 
   /// Connects a at->b and runs the sim until the link is up.
   void connect(Phone& a, Phone& b) {
@@ -158,6 +202,7 @@ class MediumAuditTest : public ::testing::Test {
   }
 
   sim::Simulator sim_;
+  world::NodeTable nodes_;
   d2d::WifiDirectMedium medium_;
 };
 

@@ -1,0 +1,121 @@
+#include "sim/shard_mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_kernel.hpp"
+
+namespace d2dhb::sim {
+namespace {
+
+TimePoint at(double s) { return TimePoint{} + seconds(s); }
+
+TEST(ShardMailbox, DeliversInGlobalOrderWithOriginalSeqs) {
+  std::uint64_t seq = 0;
+  EventKernel kernel{1, &seq};
+  ShardMailbox box{1};
+  std::vector<int> order;
+
+  // The destination kernel has its own traffic drawing seqs 0 and 3...
+  kernel.schedule_at(at(5), [&] { order.push_back(1); });
+  box.post(at(5), seq++, 0, [&] { order.push_back(2); });  // seq 1
+  box.post(at(3), seq++, 0, [&] { order.push_back(0); });  // seq 2
+  kernel.schedule_at(at(5), [&] { order.push_back(3); });
+
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.drain_into(kernel), 2u);
+  EXPECT_EQ(box.pending(), 0u);
+  kernel.run();
+  // ...and the drained envelopes interleave by their post-time draws,
+  // not by delivery time: (3s,seq2), (5s,seq0), (5s,seq1), (5s,seq3).
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(box.posted(), 2u);
+  EXPECT_EQ(box.delivered(), 2u);
+  box.audit();
+}
+
+TEST(ShardMailbox, WindowBoundaryEventStaysQueued) {
+  std::uint64_t seq = 0;
+  EventKernel kernel{2, &seq};
+  ShardMailbox box{2};
+  box.post(at(9.999), seq++, 0, [] {});
+  box.post(at(10), seq++, 0, [] {});  // exactly at the boundary
+  box.post(at(11), seq++, 0, [] {});
+
+  // drain_window(h) hands over strictly-before-h envelopes only: the
+  // boundary event belongs to the NEXT window.
+  EXPECT_EQ(box.drain_window(kernel, at(10)), 1u);
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.horizon(), at(10));
+
+  EXPECT_EQ(box.drain_window(kernel, at(20)), 2u);
+  EXPECT_EQ(box.pending(), 0u);
+  box.audit();
+}
+
+TEST(ShardMailbox, EmptyWindowStillAdvancesHorizon) {
+  EventKernel kernel{0};
+  ShardMailbox box{0};
+  EXPECT_EQ(box.drain_window(kernel, at(10)), 0u);
+  EXPECT_EQ(box.horizon(), at(10));
+  // Same horizon again is a no-op; moving backwards is a logic error.
+  EXPECT_EQ(box.drain_window(kernel, at(10)), 0u);
+  EXPECT_THROW(box.drain_window(kernel, at(5)), std::logic_error);
+}
+
+TEST(ShardMailbox, RefusesPostsBelowHorizon) {
+  EventKernel kernel{0};
+  ShardMailbox box{0};
+  box.drain_window(kernel, at(10));
+  // Posting into the destination's past would rewrite executed history.
+  EXPECT_THROW(box.post(at(9), 0, 1, [] {}), std::logic_error);
+  // The horizon itself is still postable (delivered next window).
+  box.post(at(10), 0, 1, [] {});
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(ShardMailbox, CancelledEnvelopeIsNeverDelivered) {
+  std::uint64_t seq = 0;
+  EventKernel kernel{1, &seq};
+  ShardMailbox box{1};
+  bool ran = false;
+  const ShardMailbox::Ticket doomed =
+      box.post(at(5), seq++, 0, [&] { ran = true; });
+  box.post(at(6), seq++, 0, [] {});
+
+  EXPECT_TRUE(box.cancel(doomed));
+  EXPECT_FALSE(box.cancel(doomed));  // double-cancel reports not-pending
+  EXPECT_EQ(box.pending(), 1u);
+
+  EXPECT_EQ(box.drain_into(kernel), 1u);
+  kernel.run();
+  EXPECT_FALSE(ran);
+  // Conservation: posted == delivered + cancelled + pending.
+  EXPECT_EQ(box.posted(), 2u);
+  EXPECT_EQ(box.delivered(), 1u);
+  EXPECT_EQ(box.cancelled(), 1u);
+  box.audit();
+
+  // A ticket for an already-delivered envelope is dead too.
+  EXPECT_FALSE(box.cancel(ShardMailbox::Ticket{}));
+}
+
+TEST(ShardMailbox, RejectsInvalidPosts) {
+  ShardMailbox box{0};
+  EXPECT_THROW(box.post(at(1), 0, 1, nullptr), std::invalid_argument);
+}
+
+TEST(ShardMailbox, AuditDetectsCorruptedOrder) {
+  std::uint64_t seq = 0;
+  ShardMailbox box{0};
+  box.post(at(1), seq++, 1, [] {});
+  box.post(at(2), seq++, 1, [] {});
+  box.audit();
+  box.debug_corrupt_order();
+  EXPECT_THROW(box.audit(), AuditError);
+}
+
+}  // namespace
+}  // namespace d2dhb::sim

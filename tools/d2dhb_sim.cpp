@@ -18,7 +18,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "scenario/baselines.hpp"
 #include "scenario/compressed_pair.hpp"
 #include "scenario/crowd.hpp"
+#include "scenario/crowd_cli.hpp"
 #include "scenario/probes.hpp"
 
 namespace {
@@ -44,15 +44,9 @@ using namespace d2dhb::scenario;
       << "    --ues N --tx K --distance M --bytes B --period S\n"
       << "    --capacity M --lte --seed S\n"
       << "  crowd      clustered crowd, real heartbeat periods\n"
-      << "    --phones N --relay-fraction F --area M --duration S\n"
-      << "    --mobile --policy greedy|random|density|first-n --seed S\n"
+      << crowd_flags_help()
       << "    --seeds N (run N seeds starting at --seed, aggregated)\n"
       << "    --threads T (worker threads; default D2DHB_THREADS or hw)\n"
-      << "    --grid-cell M (world-index cell size in meters; default =\n"
-      << "    D2D range) --legacy-scan (linear-scan medium, for the\n"
-      << "    grid-vs-scan ablation; seeded results are identical)\n"
-      << "    --reassess S (connected UEs re-scan every S seconds and\n"
-      << "    switch to a markedly closer relay; 0 = off)\n"
       << "  baselines  related-work strategy comparison\n"
       << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n"
@@ -61,54 +55,14 @@ using namespace d2dhb::scenario;
   std::exit(2);
 }
 
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+/// Complains about any flag no parser consumed, then exits via usage().
+void check(const CliFlags& flags, const char* argv0) {
+  const auto left = flags.leftover();
+  for (const std::string& flag : left) {
+    std::cerr << "unknown flag: " << flag << '\n';
   }
-
-  bool has(const std::string& name) {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i] == name) {
-        used_[i] = true;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  std::optional<std::string> value(const std::string& name) {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) {
-        used_[i] = used_[i + 1] = true;
-        return args_[i + 1];
-      }
-    }
-    return std::nullopt;
-  }
-
-  double number(const std::string& name, double fallback) {
-    const auto v = value(name);
-    return v ? std::stod(*v) : fallback;
-  }
-
-  /// Complains about anything not consumed. Returns false on leftovers.
-  bool check(const char* argv0) {
-    bool ok = true;
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (!used_.contains(i) && args_[i].rfind("--", 0) == 0) {
-        std::cerr << "unknown flag: " << args_[i] << '\n';
-        ok = false;
-      }
-    }
-    if (!ok) usage(argv0);
-    return ok;
-  }
-
- private:
-  std::vector<std::string> args_;
-  std::map<std::size_t, bool> used_;
-};
+  if (!left.empty()) usage(argv0);
+}
 
 /// Writes the per-arm snapshot report when --metrics-out was given.
 void maybe_write_metrics(const std::optional<std::string>& path,
@@ -119,7 +73,7 @@ void maybe_write_metrics(const std::optional<std::string>& path,
   }
 }
 
-int run_pair(Flags& flags, const char* argv0) {
+int run_pair(CliFlags& flags, const char* argv0) {
   CompressedPairConfig config;
   config.num_ues = static_cast<std::size_t>(flags.number("--ues", 1));
   config.transmissions = static_cast<std::size_t>(flags.number("--tx", 8));
@@ -131,7 +85,7 @@ int run_pair(Flags& flags, const char* argv0) {
   config.use_lte = flags.has("--lte");
   config.seed = static_cast<std::uint64_t>(flags.number("--seed", 1));
   const auto metrics_out = flags.value("--metrics-out");
-  flags.check(argv0);
+  check(flags, argv0);
 
   // The two arms are independent simulations; run them as parallel jobs.
   const runner::ExperimentRunner arms;
@@ -178,37 +132,21 @@ struct CrowdCell {
   CrowdMetrics orig;
 };
 
-int run_crowd(Flags& flags, const char* argv0) {
+int run_crowd(CliFlags& flags, const char* argv0) {
   CrowdConfig config;
-  config.phones = static_cast<std::size_t>(flags.number("--phones", 48));
-  config.relay_fraction = flags.number("--relay-fraction", 0.2);
-  config.area_m = flags.number("--area", 100.0);
-  config.duration_s = flags.number("--duration", 3600.0);
-  config.mobile = flags.has("--mobile");
-  config.grid_cell_m = flags.number("--grid-cell", 0.0);
-  config.legacy_scan = flags.has("--legacy-scan");
-  config.reassess_interval_s = flags.number("--reassess", 0.0);
-  config.seed = static_cast<std::uint64_t>(flags.number("--seed", 7));
+  config.phones = 48;
+  config.area_m = 100.0;
+  if (const std::string error = apply_crowd_flags(flags, config);
+      !error.empty()) {
+    std::cerr << error << '\n';
+    usage(argv0);
+  }
   const auto seed_count =
       static_cast<std::size_t>(flags.number("--seeds", 1));
   const auto threads =
       static_cast<std::size_t>(flags.number("--threads", 0));
   const auto metrics_out = flags.value("--metrics-out");
-  if (const auto policy = flags.value("--policy")) {
-    if (*policy == "greedy") {
-      config.operator_policy = core::SelectionPolicy::coverage_greedy;
-    } else if (*policy == "random") {
-      config.operator_policy = core::SelectionPolicy::random;
-    } else if (*policy == "density") {
-      config.operator_policy = core::SelectionPolicy::density;
-    } else if (*policy == "first-n") {
-      config.operator_policy.reset();
-    } else {
-      std::cerr << "unknown --policy: " << *policy << '\n';
-      usage(argv0);
-    }
-  }
-  flags.check(argv0);
+  check(flags, argv0);
   if (seed_count == 0) {
     std::cerr << "--seeds must be >= 1\n";
     usage(argv0);
@@ -311,7 +249,7 @@ int run_crowd(Flags& flags, const char* argv0) {
   return 0;
 }
 
-int run_baselines(Flags& flags, const char* argv0) {
+int run_baselines(CliFlags& flags, const char* argv0) {
   BaselineConfig config;
   config.phones = static_cast<std::size_t>(flags.number("--phones", 12));
   config.duration_s = flags.number("--duration", 3600.0);
@@ -319,7 +257,7 @@ int run_baselines(Flags& flags, const char* argv0) {
   const auto threads =
       static_cast<std::size_t>(flags.number("--threads", 0));
   const auto metrics_out = flags.value("--metrics-out");
-  flags.check(argv0);
+  check(flags, argv0);
 
   // Each strategy arm is an independent simulation — parallel jobs.
   using StrategyFn = StrategyMetrics (*)(const BaselineConfig&);
@@ -355,8 +293,8 @@ int run_baselines(Flags& flags, const char* argv0) {
   return 0;
 }
 
-int run_traces(Flags& flags, const char* argv0) {
-  flags.check(argv0);
+int run_traces(CliFlags& flags, const char* argv0) {
+  check(flags, argv0);
   const TraceResult d2d = trace_d2d_transfer();
   const TraceResult cell = trace_cellular_transfer();
   AsciiChart chart{"Current traces (0.1 s sampling)", "time (s)",
@@ -377,7 +315,7 @@ int run_traces(Flags& flags, const char* argv0) {
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   const std::string mode = argv[1];
-  Flags flags{argc, argv, 2};
+  CliFlags flags{argc, argv, 2};
   if (mode == "pair") return run_pair(flags, argv[0]);
   if (mode == "crowd") return run_crowd(flags, argv[0]);
   if (mode == "baselines") return run_baselines(flags, argv[0]);
