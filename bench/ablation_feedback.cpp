@@ -10,6 +10,7 @@
 #include "core/relay_agent.hpp"
 #include "core/ue_agent.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
@@ -64,7 +65,7 @@ RunResult run(bool feedback_enabled) {
                               [&] { relay_phone.modem().force_idle(); }};
   sabotage.start_after(seconds(kPeriod + (kPeriod - 3.0) + 1.0));
 
-  world.sim().run_until(TimePoint{} + seconds(3600));
+  sim::run(world.sim(), TimePoint{} + seconds(3600));
 
   RunResult r;
   r.server = world.server().totals();

@@ -1,11 +1,12 @@
-// Sharded-executor scaling: the same seeded crowd run on 1, 2, and 4
-// event kernels. Results are byte-identical by construction (the
-// shard-equivalence gate holds the executor to that); what varies is
-// the wall clock and the cross-shard traffic profile — how many events
-// crossed a kernel border, and the smallest slack between a cross-
-// shard post and its delivery time (the conservative lookahead a
-// parallel executor would have). Writes BENCH_shard_scaling.json like
-// perf_kernel writes its kernel report.
+// Parallel-executor scaling: the same seeded crowd — same geometric
+// kernels — driven by 1, 2, and 4 worker threads, plus a 10k-phone
+// "medium" arm in the crowd_scale shape. Results are byte-identical by
+// construction (the shard-equivalence gate holds the executor to
+// that); what varies is the wall clock and the cross-shard traffic
+// profile — how many events crossed a kernel border, and the smallest
+// slack between a cross-shard post and its delivery time (the
+// conservative lookahead the windowed executor runs on). Writes
+// BENCH_shard_scaling.json like perf_kernel writes its kernel report.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -18,30 +19,98 @@
 #include "common/table.hpp"
 #include "scenario/crowd.hpp"
 #include "scenario/crowd_cli.hpp"
+#include "sim/event_kernel.hpp"
 
 namespace {
 
 using namespace d2dhb;
 using namespace d2dhb::scenario;
 
-struct ShardResult {
-  std::size_t shards{0};
+struct ThreadArm {
+  std::string arm;  ///< "base" or "medium".
+  std::size_t threads{0};
+  std::size_t shards{0};  ///< The concurrency cap, not the kernel count.
+  std::size_t kernels{0};
+  double wall_s{0.0};
   double events_per_sec{0.0};
   CrowdMetrics metrics;
 };
 
+/// The geometric partition run_d2d_crowd derives from the area — one
+/// kernel per 120 m strip (mirrors scenario/crowd.cpp so the report
+/// can state the kernel count alongside the thread count).
+std::size_t kernels_for(const CrowdConfig& config) {
+  const auto strips = static_cast<std::size_t>(config.area_m / 120.0);
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>(strips, sim::EventKernel::kMaxShards));
+}
+
+ThreadArm run_arm(const std::string& arm, const CrowdConfig& base,
+                  std::size_t threads) {
+  CrowdConfig config = base;
+  config.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  CrowdMetrics m = run_d2d_crowd(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double s = std::chrono::duration<double>(t1 - t0).count();
+  ThreadArm r;
+  r.arm = arm;
+  r.threads = threads;
+  r.shards = config.shards;
+  r.kernels = kernels_for(config);
+  r.wall_s = s;
+  r.events_per_sec =
+      s > 0.0 ? static_cast<double>(m.sim_events) / s : 0.0;
+  r.metrics = std::move(m);
+  return r;
+}
+
+/// The crowd_scale bench's scale_point shape (bench/crowd_scale.cpp),
+/// reused so the 10k-phone arm here and the scaling curve there
+/// describe the same family of worlds.
+CrowdConfig medium_point(std::size_t phones) {
+  CrowdConfig config;
+  config.phones = phones;
+  config.relay_fraction = 0.2;
+  config.area_m = 50.0 + static_cast<double>(phones);
+  config.clusters = 1 + phones / 24;
+  config.cluster_stddev_m = 7.0;
+  config.duration_s = 900.0;
+  config.seed = 101;
+  return config;
+}
+
+void emit_arm_json(std::ostream& out, const ThreadArm& r, bool last) {
+  out << "    {\"arm\": \"" << r.arm << "\", \"threads\": " << r.threads
+      << ", \"shards\": " << r.shards << ", \"kernels\": " << r.kernels
+      << ", \"phones\": " << r.metrics.phones
+      << ", \"sim_events\": " << r.metrics.sim_events
+      << ", \"wall_s\": " << r.wall_s
+      << ", \"events_per_sec\": " << r.events_per_sec
+      << ", \"cross_shard_posted\": " << r.metrics.cross_shard_posted
+      << ", \"cross_shard_delivered\": " << r.metrics.cross_shard_delivered
+      // INT64_MAX is the documented "nothing crossed a border"
+      // sentinel; it is exported as-is, never masked to 0.
+      << ", \"cross_min_slack_us\": " << r.metrics.cross_min_slack_us
+      << "}" << (last ? "" : ",") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --smoke shrinks the crowd for the CI artifact job; the usual crowd
+  // --smoke shrinks both arms for the CI artifact job; the usual crowd
   // knobs (--phones, --duration, --seed, ...) override the base point.
+  // --no-medium skips the 10k-phone arm entirely (quick local runs).
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool medium_enabled = !bench::has_flag(argc, argv, "--no-medium");
 
+  // Base arm: a crowd wide enough for several geometric strips, so the
+  // worker threads have kernels to spread across.
   CrowdConfig config;
-  config.phones = smoke ? 24u : 96u;
+  config.phones = smoke ? 32u : 96u;
   config.relay_fraction = 0.2;
-  config.area_m = smoke ? 80.0 : 160.0;
-  config.clusters = 4;
+  config.area_m = smoke ? 240.0 : 480.0;
+  config.clusters = smoke ? 4u : 8u;
   config.duration_s = smoke ? 600.0 : 3600.0;
   config.mobile = true;
   config.reassess_interval_s = 60.0;
@@ -52,38 +121,49 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << '\n';
     return 2;
   }
-  // One seeded run per shard count; D2DHB_SEEDS overrides the base
+  // One seeded run per thread count; D2DHB_SEEDS overrides the base
   // seed like every other bench (first seed wins, malformed exits 2).
   config.seed = bench::bench_seeds(config.seed, 1).front();
 
   bench::print_header(
-      "Shard scaling: one crowd across 1/2/4 event kernels",
-      "n/a (substrate bench; results byte-identical at every shard "
+      "Shard scaling: one crowd, 1/2/4 worker threads over its kernels",
+      "n/a (substrate bench; results byte-identical at every thread "
       "count)");
 
-  std::vector<ShardResult> results;
-  for (const std::size_t shards : {1u, 2u, 4u}) {
-    CrowdConfig arm = config;
-    arm.shards = shards;
-    const auto t0 = std::chrono::steady_clock::now();
-    CrowdMetrics m = run_d2d_crowd(arm);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    results.push_back(ShardResult{
-        shards, s > 0.0 ? static_cast<double>(m.sim_events) / s : 0.0,
-        std::move(m)});
+  std::vector<ThreadArm> results;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    results.push_back(run_arm("base", config, threads));
   }
 
-  const CrowdMetrics& reference = results.front().metrics;
+  // Medium arm: 10k phones (crowd_scale's scale_point shape), 1 vs 4
+  // threads — the events/s ratio between these two rows is the scaling
+  // headline. Smoke keeps the shape but shrinks it so the CI artifact
+  // still carries a medium sample.
+  if (medium_enabled) {
+    CrowdConfig medium = medium_point(smoke ? 1000u : 10000u);
+    if (smoke) medium.duration_s = 300.0;
+    for (const std::size_t threads : {1u, 4u}) {
+      results.push_back(run_arm("medium", medium, threads));
+    }
+  }
+
   bool identical = true;
-  Table table{{"Shards", "Events/sec", "Sim events", "Cross-shard",
-               "Min slack (us)", "Identical"}};
-  for (const ShardResult& r : results) {
-    const bool same = r.metrics.total_l3 == reference.total_l3 &&
-                      r.metrics.sim_events == reference.sim_events &&
-                      r.metrics.total_radio_uah == reference.total_radio_uah;
+  Table table{{"Arm", "Threads", "Kernels", "Events/sec", "Sim events",
+               "Cross-shard", "Min slack (us)", "Identical"}};
+  const CrowdMetrics* reference = nullptr;
+  std::string reference_arm;
+  for (const ThreadArm& r : results) {
+    if (r.arm != reference_arm) {
+      reference = &r.metrics;
+      reference_arm = r.arm;
+    }
+    const bool same =
+        r.metrics.total_l3 == reference->total_l3 &&
+        r.metrics.sim_events == reference->sim_events &&
+        r.metrics.total_radio_uah == reference->total_radio_uah;
     identical = identical && same;
-    table.add_row({std::to_string(r.shards),
+    table.add_row({r.arm, std::to_string(r.threads),
+                   std::to_string(r.kernels),
                    Table::num(r.events_per_sec, 0),
                    std::to_string(r.metrics.sim_events),
                    std::to_string(r.metrics.cross_shard_posted),
@@ -94,8 +174,17 @@ int main(int argc, char** argv) {
   }
   bench::emit(table, "shard_scaling");
   if (!identical) {
-    std::cerr << "error: sharded runs diverged from the 1-shard "
+    std::cerr << "error: threaded runs diverged from their 1-thread "
                  "reference — the byte-identical contract is broken\n";
+  }
+  if (medium_enabled && results.size() >= 2) {
+    const ThreadArm& m1 = results[results.size() - 2];
+    const ThreadArm& m4 = results[results.size() - 1];
+    if (m1.events_per_sec > 0.0) {
+      std::cout << "medium arm speedup (4 threads vs 1): "
+                << Table::num(m4.events_per_sec / m1.events_per_sec, 2)
+                << "x\n";
+    }
   }
 
   std::string path = "BENCH_shard_scaling.json";
@@ -110,22 +199,11 @@ int main(int argc, char** argv) {
         << "  \"workload\": \"crowd_shard_scaling\",\n"
         << "  \"phones\": " << config.phones << ",\n"
         << "  \"duration_s\": " << config.duration_s << ",\n"
-        << "  \"sim_events\": " << reference.sim_events << ",\n"
         << "  \"results_identical\": " << (identical ? "true" : "false")
         << ",\n"
         << "  \"arms\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-      const ShardResult& r = results[i];
-      out << "    {\"shards\": " << r.shards
-          << ", \"events_per_sec\": " << r.events_per_sec
-          << ", \"cross_shard_posted\": " << r.metrics.cross_shard_posted
-          << ", \"cross_shard_delivered\": "
-          << r.metrics.cross_shard_delivered
-          << ", \"cross_min_slack_us\": "
-          << (r.metrics.cross_shard_posted == 0
-                  ? 0
-                  : r.metrics.cross_min_slack_us)
-          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+      emit_arm_json(out, results[i], i + 1 == results.size());
     }
     out << "  ]\n"
         << "}\n";

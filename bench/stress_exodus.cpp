@@ -14,6 +14,7 @@
 #include "core/relay_agent.hpp"
 #include "core/ue_agent.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
@@ -77,10 +78,10 @@ ExodusMetrics run_exodus(std::uint64_t seed) {
     return s;
   };
 
-  world.sim().run_until(depart);
+  sim::run(world.sim(), depart);
   const auto before = snapshot();
   const auto l3_before = world.total_l3();
-  world.sim().run_until(depart + seconds(900));  // 15 min of exodus
+  sim::run(world.sim(), depart + seconds(900));  // 15 min of exodus
   const auto after = snapshot();
 
   ExodusMetrics m;

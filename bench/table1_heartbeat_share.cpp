@@ -6,6 +6,7 @@
 #include "apps/traffic_mix.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 int main() {
@@ -22,7 +23,7 @@ int main() {
         sim, profile, Rng{profile.heartbeat_size.value},
         [](apps::MixedTrafficGenerator::Kind, Bytes) {}};
     gen.start();
-    sim.run_until(TimePoint{} + seconds(3600.0 * 24 * 7));
+    sim::run(sim, TimePoint{} + seconds(3600.0 * 24 * 7));
     table.add_row({profile.name,
                    Table::num(to_seconds(profile.heartbeat_period), 0),
                    std::to_string(profile.heartbeat_size.value),

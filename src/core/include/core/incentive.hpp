@@ -5,9 +5,12 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <vector>
 
 #include "common/id.hpp"
 #include "metrics/registry.hpp"
+#include "sim/simulator.hpp"
 
 namespace d2dhb::core {
 
@@ -25,7 +28,16 @@ class IncentiveLedger {
   IncentiveLedger();
   explicit IncentiveLedger(Tariff tariff);
 
+  /// Binds the ledger to the world's executor so concurrent credits land
+  /// in per-kernel subtotals. Without it the ledger runs with a single
+  /// lane — correct for any single-kernel world.
+  void attach(const sim::Simulator& sim);
+
   /// Credits `relay` for delivering `heartbeats` forwarded messages.
+  /// Thread-safe; the issued total accumulates per executing kernel and
+  /// is summed in kernel order, so the floating-point result is the same
+  /// for every executor thread count (and matches the classic serial
+  /// accumulation when the world has one kernel).
   void credit(NodeId relay, std::uint64_t heartbeats);
 
   double balance(NodeId relay) const;
@@ -35,17 +47,21 @@ class IncentiveLedger {
   /// Deducts up to `credits`; returns the amount actually redeemed.
   double redeem(NodeId relay, double credits);
 
-  double total_issued() const { return total_issued_; }
+  double total_issued() const;
   const Tariff& tariff() const { return tariff_; }
 
-  /// Exposes the ledger through a registry (the ledger itself has no
-  /// simulator handle; the owning Scenario binds it once at setup).
+  /// Exposes the ledger through a registry (the owning Scenario binds it
+  /// once at setup).
   void bind_metrics(metrics::MetricsRegistry& registry);
 
  private:
   Tariff tariff_;
+  const sim::Simulator* sim_{nullptr};
+  mutable std::mutex mutex_;
   std::map<NodeId, double> balances_;
-  double total_issued_{0.0};
+  /// One subtotal per kernel; lane k only ever accumulates credits
+  /// issued while kernel k executes, in that kernel's event order.
+  std::vector<double> issued_lanes_{0.0};
 };
 
 }  // namespace d2dhb::core

@@ -7,14 +7,22 @@ namespace d2dhb::core {
 IncentiveLedger::IncentiveLedger() : tariff_() {}
 IncentiveLedger::IncentiveLedger(Tariff tariff) : tariff_(tariff) {}
 
+void IncentiveLedger::attach(const sim::Simulator& sim) {
+  sim_ = &sim;
+  issued_lanes_.assign(sim.shard_count(), 0.0);
+}
+
 void IncentiveLedger::credit(NodeId relay, std::uint64_t heartbeats) {
   const double credits =
       tariff_.credits_per_heartbeat * static_cast<double>(heartbeats);
+  const std::size_t lane = sim_ == nullptr ? 0 : sim_->current_shard();
+  const std::lock_guard<std::mutex> lock(mutex_);
   balances_[relay] += credits;
-  total_issued_ += credits;
+  issued_lanes_[lane] += credits;
 }
 
 double IncentiveLedger::balance(NodeId relay) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = balances_.find(relay);
   return it == balances_.end() ? 0.0 : it->second;
 }
@@ -27,12 +35,22 @@ double IncentiveLedger::redeemable_mb(NodeId relay) const {
   return balance(relay) * tariff_.free_mb_per_credit;
 }
 
+double IncentiveLedger::total_issued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Lane order, not arrival order: the sum is reproducible no matter how
+  // the executor interleaved the lanes' credits in real time.
+  double total = 0.0;
+  for (const double lane : issued_lanes_) total += lane;
+  return total;
+}
+
 void IncentiveLedger::bind_metrics(metrics::MetricsRegistry& registry) {
   registry.gauge_fn("incentive.credits_issued", {0, -1, "incentive"},
-                    [this] { return total_issued_; });
+                    [this] { return total_issued(); });
 }
 
 double IncentiveLedger::redeem(NodeId relay, double credits) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = balances_.find(relay);
   if (it == balances_.end()) return 0.0;
   const double redeemed = std::min(credits, it->second);

@@ -15,9 +15,22 @@
 // Params::legacy_scan for the grid-vs-scan ablation; both paths visit
 // peers in ascending NodeId order and draw the RNG identically, so a
 // seeded run is bit-identical whichever path answers it.
+//
+// Strip confinement: every node is homed to a world strip (its
+// NodeTable shard column, fixed when the node is added) and D2D only
+// connects nodes homed to the same strip — cross-strip pairs are
+// simply out of range. Strips are at least four D2D ranges wide, so
+// this only trims pairs straddling a strip boundary, and it makes the
+// medium safe for the parallel executor: a scan, range sweep, or
+// group-id allocation on strip k touches only strip-k radios, strip-k
+// mobility models, strip k's world index, and strip k's rng/id lanes.
+// A one-strip world has one lane holding the medium's original rng and
+// a group counter starting at 1 with stride 1 — exactly the classic
+// serial behaviour.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -78,11 +91,12 @@ class WifiDirectMedium {
   void attach(WifiDirectRadio& radio, const mobility::MobilityModel& mobility);
   void detach(NodeId node);
 
-  /// Next group id for a freshly negotiated group. Owned by the medium
-  /// (not a process-wide static) so concurrent simulations in a sweep
-  /// never share the counter: ids are deterministic per run and there is
-  /// no cross-thread data race.
-  GroupId allocate_group() { return GroupId{next_group_++}; }
+  /// Next group id for a freshly negotiated group, minted from the
+  /// owner's strip lane (lane k of V issues ids 1+k, 1+k+V, ...), so
+  /// concurrent strips never share a counter and ids are deterministic
+  /// regardless of executor thread count. One strip degenerates to the
+  /// classic 1, 2, 3, ... sequence.
+  GroupId allocate_group(NodeId owner);
 
   /// Invariant audit (the D2DHB_AUDIT layer): checks the world index
   /// (SpatialGrid::audit at the current sim time), NodeTable↔radio-array
@@ -93,8 +107,13 @@ class WifiDirectMedium {
   /// automatically every audit interval.
   void audit() const;
 
-  /// True distance between two registered radios right now.
+  /// True distance between two registered radios right now. Only
+  /// meaningful for same-strip pairs (callers reach it through links,
+  /// which never cross strips).
   Meters distance(NodeId a, NodeId b) const;
+  /// Range check with strip confinement: nodes homed to different
+  /// strips are never in range (decided before touching either node's
+  /// mobility, so it is safe to ask about a peer another thread owns).
   bool in_range(NodeId a, NodeId b) const;
   mobility::Vec2 position_of(NodeId node) const;
 
@@ -115,24 +134,41 @@ class WifiDirectMedium {
   /// The shared dense node-state layer (home shards, positions, slots).
   world::NodeTable& nodes() { return nodes_; }
   const world::NodeTable& nodes() const { return nodes_; }
-  /// The world index the medium maintains (exposed for diagnostics).
-  const mobility::SpatialGrid& grid() const { return grid_; }
+  /// A strip's world index (exposed for diagnostics); strip 0 by
+  /// default — the whole world when there is a single strip.
+  const mobility::SpatialGrid& grid(std::size_t strip = 0) const {
+    return *grids_[strip];
+  }
 
  private:
+  void require_attached(NodeId node) const;
   mobility::Vec2 checked_position(NodeId node) const;
+  std::uint32_t strip_of(NodeId node) const { return nodes_.shard_of(node); }
+
+  /// Per-strip mutable state: the rng feeding that strip's scan noise
+  /// and miss draws, and the strip's group-id counter. Only touched by
+  /// the kernel executing that strip, so no locking is needed and each
+  /// strip's draws are a deterministic stream.
+  struct Lane {
+    Rng rng;
+    std::uint64_t next_group;
+  };
 
   sim::Simulator& sim_;
   world::NodeTable& nodes_;
   Params params_;
-  Rng rng_;
   /// Compact array of attached radios; the NodeTable's d2d_slot column
   /// maps NodeId → index here. Detach swap-removes, so the array stays
   /// dense no matter the attach/detach order.
   std::vector<WifiDirectRadio*> radios_;
-  mobility::SpatialGrid grid_;
-  /// Scratch buffer for grid queries (avoids per-scan allocation).
-  mutable std::vector<mobility::SpatialGrid::Neighbor> scratch_;
-  std::uint64_t next_group_{1};
+  /// One world index per strip, holding only nodes homed there. Scans
+  /// on strip k query grids_[k] alone — the grid's lazy position cache
+  /// then only ever touches strip-k mobility models.
+  std::vector<std::unique_ptr<mobility::SpatialGrid>> grids_;
+  /// Per-strip scratch buffers for grid queries (avoid per-scan
+  /// allocation without sharing a buffer across threads).
+  mutable std::vector<std::vector<mobility::SpatialGrid::Neighbor>> scratch_;
+  std::vector<Lane> lanes_;
   std::uint64_t auditor_token_{0};
 };
 

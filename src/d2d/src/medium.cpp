@@ -18,18 +18,39 @@ Meters grid_cell(const WifiDirectMedium::Params& params) {
 WifiDirectMedium::WifiDirectMedium(sim::Simulator& sim,
                                    world::NodeTable& nodes, Params params,
                                    Rng rng)
-    : sim_(sim),
-      nodes_(nodes),
-      params_(params),
-      rng_(rng),
-      grid_(grid_cell(params_)) {
+    : sim_(sim), nodes_(nodes), params_(params) {
+  const std::size_t strips = sim_.shard_count();
+  grids_.reserve(strips);
+  scratch_.resize(strips);
+  for (std::size_t s = 0; s < strips; ++s) {
+    grids_.push_back(
+        std::make_unique<mobility::SpatialGrid>(grid_cell(params_)));
+  }
+  // One rng lane per strip; the last lane keeps the medium's original
+  // rng untouched, so a one-strip world draws exactly the classic
+  // stream. Group-id lanes follow strip index: lane s starts at 1 + s
+  // and strides by the strip count.
+  lanes_.reserve(strips);
+  for (std::size_t s = 0; s + 1 < strips; ++s) {
+    lanes_.push_back(Lane{rng.fork(), 1 + s});
+  }
+  lanes_.push_back(Lane{std::move(rng), strips});
   auditor_token_ = sim_.add_auditor([this] { audit(); });
 }
 
 WifiDirectMedium::~WifiDirectMedium() { sim_.remove_auditor(auditor_token_); }
 
+GroupId WifiDirectMedium::allocate_group(NodeId owner) {
+  Lane& lane = lanes_[strip_of(owner)];
+  const std::uint64_t id = lane.next_group;
+  lane.next_group += lanes_.size();
+  return GroupId{id};
+}
+
 void WifiDirectMedium::audit() const {
-  grid_.audit(sim_.now(), sim_.time_epoch());
+  for (const auto& grid : grids_) {
+    grid->audit(sim_.now(), sim_.time_epoch());
+  }
   // Slot consistency: every radio-array entry points back at its slot
   // through the table, and every table slot lands inside the array.
   for (std::size_t slot = 0; slot < radios_.size(); ++slot) {
@@ -95,8 +116,9 @@ void WifiDirectMedium::attach(WifiDirectRadio& radio,
     nodes_.set_d2d_slot(node, static_cast<std::uint32_t>(radios_.size()));
     radios_.push_back(&radio);
   }
-  if (grid_.contains(node)) grid_.remove(node);
-  grid_.insert(node, mobility);
+  mobility::SpatialGrid& grid = *grids_[strip_of(node)];
+  if (grid.contains(node)) grid.remove(node);
+  grid.insert(node, mobility);
 }
 
 void WifiDirectMedium::detach(NodeId node) {
@@ -111,14 +133,18 @@ void WifiDirectMedium::detach(NodeId node) {
   }
   radios_.pop_back();
   nodes_.set_d2d_slot(node, world::kNoD2dSlot);
-  grid_.remove(node);
+  grids_[strip_of(node)]->remove(node);
 }
 
-mobility::Vec2 WifiDirectMedium::checked_position(NodeId node) const {
+void WifiDirectMedium::require_attached(NodeId node) const {
   if (radio(node) == nullptr) {
     throw std::out_of_range("WifiDirectMedium: unknown node #" +
                             std::to_string(node.value));
   }
+}
+
+mobility::Vec2 WifiDirectMedium::checked_position(NodeId node) const {
+  require_attached(node);
   return nodes_.position_of(node, sim_.now());
 }
 
@@ -131,23 +157,34 @@ Meters WifiDirectMedium::distance(NodeId a, NodeId b) const {
 }
 
 bool WifiDirectMedium::in_range(NodeId a, NodeId b) const {
+  // Attachment checks read no positions, so they are safe for any pair;
+  // the strip test must come before the distance read — a cross-strip
+  // peer's mobility belongs to another kernel's thread.
+  require_attached(a);
+  require_attached(b);
+  if (strip_of(a) != strip_of(b)) return false;
   return distance(a, b).value <= params_.range.value;
 }
 
 std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
   std::vector<DiscoveredPeer> found;
   if (radio(scanner) == nullptr) return found;
+  const std::uint32_t strip = strip_of(scanner);
+  Lane& lane = lanes_[strip];
   const mobility::Vec2 origin = nodes_.position_of(scanner, sim_.now());
 
   // Both paths visit peers in ascending NodeId order with identical
   // distance arithmetic and RNG draws, so a seeded run's behaviour is
   // bit-identical whichever one answers the scan (asserted by the
-  // grid-equivalence integration test).
+  // grid-equivalence integration test). Both are confined to the
+  // scanner's strip: the grid path by construction (a strip's grid only
+  // holds its own nodes), the legacy path by an explicit home-strip
+  // filter applied before any position is read.
   auto admit = [&](NodeId node, Meters d) {
     const WifiDirectRadio* peer_radio = radios_[nodes_.d2d_slot(node)];
     if (!peer_radio->listening()) return;
-    if (rng_.chance(params_.discovery_miss_probability)) return;
-    const double noise = rng_.normal(0.0, params_.rssi_noise_stddev_m);
+    if (lane.rng.chance(params_.discovery_miss_probability)) return;
+    const double noise = lane.rng.normal(0.0, params_.rssi_noise_stddev_m);
     DiscoveredPeer peer;
     peer.node = node;
     peer.estimated_distance = Meters{std::max(0.0, d.value + noise)};
@@ -159,7 +196,8 @@ std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
     for (std::uint64_t id = 1; id < nodes_.id_limit(); ++id) {
       const NodeId node{id};
       if (id == scanner.value || !nodes_.contains(node) ||
-          nodes_.d2d_slot(node) == world::kNoD2dSlot) {
+          nodes_.d2d_slot(node) == world::kNoD2dSlot ||
+          strip_of(node) != strip) {
         continue;
       }
       const Meters d = mobility::distance(
@@ -170,9 +208,10 @@ std::vector<DiscoveredPeer> WifiDirectMedium::scan_from(NodeId scanner) {
     return found;
   }
 
-  grid_.query_radius(origin, params_.range, sim_.now(), sim_.time_epoch(),
-                     scratch_, scanner);
-  for (const auto& neighbor : scratch_) {
+  std::vector<mobility::SpatialGrid::Neighbor>& scratch = scratch_[strip];
+  grids_[strip]->query_radius(origin, params_.range, sim_.now(),
+                              sim_.time_epoch(), scratch, scanner);
+  for (const auto& neighbor : scratch) {
     admit(neighbor.node, neighbor.distance);
   }
   return found;
@@ -187,9 +226,12 @@ std::vector<NodeId> WifiDirectMedium::lost_peers(
   // are bounded by max_group_clients (8), so O(links) distance checks
   // beat a radius query (O(neighbourhood), which in a dense cluster is
   // far larger) — and this sweep runs every poll tick for every radio.
+  const std::uint32_t strip = strip_of(node);
   const mobility::Vec2 origin = nodes_.position_of(node, sim_.now());
   for (const NodeId peer : peers) {
-    if (radio(peer) == nullptr ||
+    // Strip check before the position read: a cross-strip peer counts
+    // as lost without touching its (other thread's) mobility model.
+    if (radio(peer) == nullptr || strip_of(peer) != strip ||
         mobility::distance(origin, nodes_.position_of(peer, sim_.now()))
                 .value > params_.range.value) {
       lost.push_back(peer);

@@ -132,7 +132,9 @@ void WifiDirectRadio::connect(NodeId peer, ConnectCallback callback) {
         } else if (!peer_is_owner && group_.valid() && group_owner_) {
           group = group_;
         } else {
-          group = medium_.allocate_group();
+          // Both ends share a strip (in_range enforces confinement), so
+          // either id names the same lane.
+          group = medium_.allocate_group(owner_);
         }
         establish_link(peer, group, !peer_is_owner);
         other->establish_link(owner_, group, peer_is_owner);

@@ -19,6 +19,7 @@
 // registering object; take snapshots while the world is alive.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -58,14 +59,32 @@ struct StatsField {
 /// knowing the concrete Stats type.
 using StatsRow = std::vector<StatsField>;
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Increments are relaxed
+/// atomics: shared series (a base station's per-cell counters) are hit
+/// from several worker threads, and a sum is order-free — the snapshot
+/// total is deterministic regardless of increment interleaving. Copy
+/// operations exist only for registry/variant storage (single-threaded
+/// registration paths).
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_{0};
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time value. Either set explicitly or backed by a callback

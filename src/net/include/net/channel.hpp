@@ -3,7 +3,9 @@
 // needs modeling.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -34,18 +36,28 @@ class Channel {
   /// Returns whether the bundle survived the loss draw.
   bool send(UplinkBundle bundle);
 
-  std::uint64_t sent() const { return sent_; }
+  std::uint64_t sent() const;
   std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const;
 
  private:
+  /// Per-shard send state: senders on different kernels draw from their
+  /// own loss rng and bump their own counters, so concurrent sends stay
+  /// deterministic per strip. One kernel means one lane holding the
+  /// channel's original rng — the classic single-stream behaviour.
+  struct Lane {
+    Rng rng;
+    std::uint64_t sent{0};
+    std::uint64_t dropped{0};
+  };
+
   sim::Simulator& sim_;
   Params params_;
-  Rng rng_;
   Receiver receiver_;
-  std::uint64_t sent_{0};
+  std::vector<Lane> lanes_;
+  /// Only touched by delivery callbacks, which all run on the home
+  /// shard's kernel — a single writer.
   std::uint64_t delivered_{0};
-  std::uint64_t dropped_{0};
 };
 
 }  // namespace d2dhb::net

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,23 +45,33 @@ class SignalingCounter {
     L3MessageType type;
   };
 
+  /// Thread-safe: one cell's counter is fed by phones homed on several
+  /// kernels, so recording locks internally. Aggregates (total, counts,
+  /// peak_rate) are insertion-order independent, which keeps them
+  /// byte-identical across executor thread counts.
   void record(TimePoint when, NodeId node, L3MessageType type);
   void record_sequence(TimePoint when, NodeId node,
                        const std::vector<L3MessageType>& sequence);
 
-  std::uint64_t total() const { return records_.size(); }
+  std::uint64_t total() const;
   std::uint64_t count_for(NodeId node) const;
   std::uint64_t count_of(L3MessageType type) const;
 
   /// Peak number of L3 messages inside any sliding window of `window`
   /// length — a proxy for instantaneous control-channel load (the
-  /// quantity that overloads during a signaling storm).
+  /// quantity that overloads during a signaling storm). Sorts a copy by
+  /// timestamp, so the answer does not depend on insertion order.
   std::uint64_t peak_rate(Duration window) const;
 
+  /// Raw records in insertion order. Only meaningful once the run has
+  /// finished (single-threaded analysis/export paths).
   const std::vector<Record>& records() const { return records_; }
   void clear();
 
  private:
+  void append(TimePoint when, NodeId node, L3MessageType type);
+
+  mutable std::mutex mutex_;
   std::vector<Record> records_;
   std::map<NodeId, std::uint64_t> per_node_;
   std::array<std::uint64_t, static_cast<std::size_t>(L3MessageType::kCount)>

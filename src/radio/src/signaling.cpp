@@ -36,40 +36,63 @@ const char* to_string(L3MessageType type) {
   return "UNKNOWN";
 }
 
-void SignalingCounter::record(TimePoint when, NodeId node,
+void SignalingCounter::append(TimePoint when, NodeId node,
                               L3MessageType type) {
   records_.push_back(Record{when, node, type});
   ++per_node_[node];
   ++per_type_[static_cast<std::size_t>(type)];
 }
 
+void SignalingCounter::record(TimePoint when, NodeId node,
+                              L3MessageType type) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append(when, node, type);
+}
+
 void SignalingCounter::record_sequence(
     TimePoint when, NodeId node, const std::vector<L3MessageType>& sequence) {
-  for (const auto type : sequence) record(when, node, type);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto type : sequence) append(when, node, type);
+}
+
+std::uint64_t SignalingCounter::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
 }
 
 std::uint64_t SignalingCounter::count_for(NodeId node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = per_node_.find(node);
   return it == per_node_.end() ? 0 : it->second;
 }
 
 std::uint64_t SignalingCounter::count_of(L3MessageType type) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return per_type_[static_cast<std::size_t>(type)];
 }
 
 std::uint64_t SignalingCounter::peak_rate(Duration window) const {
-  // Records arrive in nondecreasing time order (simulation time is
-  // monotone), so a two-pointer sweep suffices.
+  // Parallel execution interleaves cross-kernel records arbitrarily, so
+  // sort a copy by timestamp before the two-pointer sweep; the peak is
+  // then a pure function of the record multiset.
+  std::vector<Record> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = records_;
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Record& a, const Record& b) { return a.when < b.when; });
   std::uint64_t peak = 0;
   std::size_t lo = 0;
-  for (std::size_t hi = 0; hi < records_.size(); ++hi) {
-    while (records_[hi].when - records_[lo].when > window) ++lo;
+  for (std::size_t hi = 0; hi < sorted.size(); ++hi) {
+    while (sorted[hi].when - sorted[lo].when > window) ++lo;
     peak = std::max<std::uint64_t>(peak, hi - lo + 1);
   }
   return peak;
 }
 
 void SignalingCounter::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
   per_node_.clear();
   per_type_.fill(0);

@@ -57,12 +57,16 @@ struct CrowdConfig {
   /// Zero disables re-assessment. Periodic re-scans make discovery the
   /// dominant event class at scale — the scaling benches use this.
   double reassess_interval_s{0.0};
-  /// Event kernels the world is partitioned across (vertical strips of
-  /// the area; each phone's timers live on the kernel owning its
-  /// initial position). 1 = the classic single-kernel run. Metrics are
-  /// byte-identical for any value — the shard-equivalence gate holds
-  /// the executor to that.
-  std::size_t shards{1};
+  /// Executor concurrency cap: at most this many of the world's kernels
+  /// may run in parallel. The partition itself is geometric — one
+  /// vertical strip per 120 m of area width, each phone homed to the
+  /// strip owning its initial position — so neither this value nor
+  /// `threads` ever changes results; the shard-equivalence gate holds
+  /// the executor to that. The default places no cap.
+  std::size_t shards{256};
+  /// Worker threads driving the kernels (1 = serial execution; capped
+  /// by `shards` and by the world's strip count).
+  std::size_t threads{1};
   std::uint64_t seed{7};
 };
 

@@ -1,12 +1,13 @@
 #include "scenario/crowd.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
 
 #include "core/operator_selection.hpp"
 #include "scenario/scenario.hpp"
-#include "world/sharded_world.hpp"
+#include "sim/engine.hpp"
 
 namespace d2dhb::scenario {
 
@@ -24,6 +25,18 @@ std::unique_ptr<mobility::MobilityModel> make_mobility(
   return std::make_unique<mobility::RandomWaypoint>(params, start, rng);
 }
 
+/// Kernels the world is cut into — pure geometry, never a tuning knob:
+/// one vertical strip per 120 m of area width (four D2D ranges, so
+/// strip confinement only trims boundary-band pairs), floored at one
+/// strip and capped by the event-id encoding. Every config decides its
+/// own partition this way, which is what keeps results independent of
+/// CrowdConfig::shards/threads: those only say how much of the
+/// partition may execute concurrently.
+std::size_t strip_count(const CrowdConfig& config) {
+  const auto strips = static_cast<std::size_t>(config.area_m / 120.0);
+  return std::clamp<std::size_t>(strips, 1, sim::EventKernel::kMaxShards);
+}
+
 Scenario::Params world_params(const CrowdConfig& config,
                               std::vector<mobility::Vec2> sites) {
   Scenario::Params params;
@@ -32,24 +45,16 @@ Scenario::Params world_params(const CrowdConfig& config,
   params.medium.legacy_scan = config.legacy_scan;
   params.cell_sites = std::move(sites);
   params.shard_plan =
-      world::ShardPlan{config.shards, 0.0, config.area_m};
+      world::ShardPlan{strip_count(config), 0.0, config.area_m};
   return params;
 }
 
-/// Round-robin synchronization quantum of the sharded executor. Only
-/// horizon bookkeeping depends on it (results never do); 10 s sits
-/// comfortably between the millisecond cross-shard latencies and the
-/// 240-300 s heartbeat periods.
-constexpr Duration kShardWindow = seconds(10);
-
 void run_world(Scenario& world, const CrowdConfig& config) {
   const TimePoint end = TimePoint{} + seconds(config.duration_s);
-  if (config.shards > 1) {
-    world::ShardedWorld executor{world.sim(), kShardWindow};
-    executor.run_until(end);
-  } else {
-    world.sim().run_until(end);
-  }
+  sim::RunOptions options;
+  options.shards = config.shards;
+  options.threads = config.threads;
+  sim::run(world.sim(), end, options);
 }
 
 std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {

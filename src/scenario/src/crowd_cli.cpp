@@ -65,6 +65,12 @@ std::string apply_crowd_flags(CliFlags& flags, CrowdConfig& config) {
            std::to_string(sim::EventKernel::kMaxShards) + "]";
   }
   config.shards = static_cast<std::size_t>(shards);
+  const double threads = flags.number(
+      "--threads", static_cast<double>(config.threads));
+  if (threads < 1.0) {
+    return "--threads must be at least 1";
+  }
+  config.threads = static_cast<std::size_t>(threads);
   if (const auto policy = flags.value("--policy")) {
     if (*policy == "greedy") {
       config.operator_policy = core::SelectionPolicy::coverage_greedy;
@@ -91,8 +97,11 @@ const char* crowd_flags_help() {
       "    grid-vs-scan ablation; seeded results are identical)\n"
       "    --reassess S (connected UEs re-scan every S seconds and\n"
       "    switch to a markedly closer relay; 0 = off)\n"
-      "    --shards N (partition the world across N event kernels;\n"
-      "    seeded results are byte-identical for any N)\n";
+      "    --shards N (cap on how many of the world's kernels may run\n"
+      "    concurrently; the partition itself is geometric, so seeded\n"
+      "    results are byte-identical for any N)\n"
+      "    --threads N (worker threads driving the kernels; 1 = serial.\n"
+      "    Seeded results are byte-identical for any N)\n";
 }
 
 }  // namespace d2dhb::scenario

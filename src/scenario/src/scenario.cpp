@@ -47,7 +47,12 @@ Scenario::Scenario(Params params)
         sim_, server_, params.backhaul, rng_.fork(), i));
     site_grid_.insert(i, sites_[i]);
   }
+  ledger_.attach(sim_);
   ledger_.bind_metrics(sim_.metrics());
+  message_lanes_.reserve(shard_plan_.shards);
+  for (std::size_t s = 0; s < shard_plan_.shards; ++s) {
+    message_lanes_.emplace_back(1 + s, shard_plan_.shards);
+  }
   table_auditor_token_ = sim_.add_auditor([this] { table_.audit(); });
 }
 
@@ -117,8 +122,8 @@ core::RelayAgent& Scenario::add_relay(core::Phone& phone,
   table_.set_role(phone.id(), world::NodeRole::relay);
   sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   relays_.push_back(std::make_unique<core::RelayAgent>(
-      sim_, phone, std::move(params), serving_bs(phone), message_ids_,
-      &ledger_));
+      sim_, phone, std::move(params), serving_bs(phone),
+      message_lanes_[table_.shard_of(phone.id())], &ledger_));
   return *relays_.back();
 }
 
@@ -127,8 +132,8 @@ core::UeAgent& Scenario::add_ue(core::Phone& phone,
   table_.set_role(phone.id(), world::NodeRole::ue);
   sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   ues_.push_back(std::make_unique<core::UeAgent>(
-      sim_, phone, std::move(params), serving_bs(phone), message_ids_,
-      rng_.fork()));
+      sim_, phone, std::move(params), serving_bs(phone),
+      message_lanes_[table_.shard_of(phone.id())], rng_.fork()));
   return *ues_.back();
 }
 
@@ -137,7 +142,8 @@ core::OriginalAgent& Scenario::add_original(core::Phone& phone,
   table_.set_role(phone.id(), world::NodeRole::original);
   sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
   originals_.push_back(std::make_unique<core::OriginalAgent>(
-      sim_, phone, std::move(app), serving_bs(phone), message_ids_));
+      sim_, phone, std::move(app), serving_bs(phone),
+      message_lanes_[table_.shard_of(phone.id())]));
   return *originals_.back();
 }
 

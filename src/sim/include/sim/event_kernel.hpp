@@ -18,6 +18,10 @@
 //  * an externally owned sequence counter, so events scheduled across
 //    N kernels remain globally totally ordered by (time, seq) — the
 //    property the sharded executor's byte-identical contract rests on;
+//  * a sequence *lane* (set_seq_lane), the thread-safe alternative to a
+//    shared counter: kernel k of V draws seq k, k+V, k+2V, ... from its
+//    own counter, so draws stay globally unique (and totally ordered
+//    per kernel) without any cross-thread traffic;
 //  * peek(), which exposes the head (time, seq) for merge-stepping,
 //    and schedule_with_seq(), which lets a ShardMailbox deliver a
 //    cross-shard event under its original global sequence number.
@@ -74,6 +78,20 @@ class EventKernel {
 
   std::uint32_t shard() const { return shard_; }
 
+  /// Restricts this kernel's sequence draws to the lane
+  /// {start, start + stride, start + 2*stride, ...}. With one lane per
+  /// kernel (start = k, stride = V) draws are globally unique without a
+  /// shared counter, which is what lets kernels draw concurrently from
+  /// worker threads. Only valid on a kernel that owns its counter and
+  /// has not scheduled or executed anything yet. stride 1 / start 0 is
+  /// the default single-kernel behaviour.
+  void set_seq_lane(std::uint64_t start, std::uint64_t stride);
+
+  /// Draws the next sequence number from this kernel's lane. Exposed so
+  /// the world context can stamp cross-shard envelopes with a draw from
+  /// the posting kernel's lane.
+  std::uint64_t draw_seq();
+
   /// Current kernel-local time. In a sharded world this lags the world
   /// clock between this kernel's events; it never runs ahead of it.
   TimePoint now() const { return now_; }
@@ -117,6 +135,13 @@ class EventKernel {
   /// Runs events with time <= `t`, then advances the clock to exactly
   /// `t` (so idle intervals at the end of a window are accounted for).
   void run_until(TimePoint t);
+
+  /// Runs events with time strictly < `t`, then advances the clock to
+  /// exactly `t`. The parallel executor's per-window step: events at
+  /// the window boundary itself must wait for the next window so that
+  /// a cross-shard envelope landing exactly at the boundary still sorts
+  /// ahead of same-instant, larger-seq local events.
+  void run_before(TimePoint t);
 
   /// Clock-only advance to `t` (>= now()); used by the world context to
   /// close out a time window on an idle kernel.
@@ -170,6 +195,8 @@ class EventKernel {
   std::uint64_t time_epoch_{0};
   std::uint64_t own_seq_{0};
   std::uint64_t* seq_;  ///< &own_seq_ or the world's shared counter.
+  std::uint64_t seq_stride_{1};   ///< Lane stride (1 = every number).
+  std::uint64_t lane_residue_{0};  ///< start % stride of this lane.
   std::uint64_t executed_{0};
   std::size_t live_{0};
   /// Binary heap managed with std::push_heap/pop_heap (the same

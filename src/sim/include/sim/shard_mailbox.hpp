@@ -16,11 +16,18 @@
 // rule a parallel executor needs: a shard executing window [w, w+W)
 // may only be handed events for w+W and later at the next barrier.
 // The single-threaded executor drains eagerly (drain_into), which
-// preserves global order exactly; the windowed machinery is the
-// platform for the multi-threaded follow-up.
+// preserves global order exactly; the windowed path is what the
+// parallel executor (sim/engine.hpp) runs at every barrier.
+//
+// Thread safety: every operation locks an internal mutex, so any worker
+// may post while the destination's owner drains. Draining extracts the
+// deliverable prefix under the lock but schedules into the kernel
+// outside it — kernels are single-owner and never locked.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -66,12 +73,16 @@ class ShardMailbox {
   std::size_t drain_window(EventKernel& kernel, TimePoint new_horizon);
 
   /// Everything with when < horizon() has been handed over.
-  TimePoint horizon() const { return horizon_; }
+  TimePoint horizon() const;
 
-  std::size_t pending() const { return box_.size(); }
-  std::uint64_t posted() const { return posted_; }
-  std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t cancelled() const { return cancelled_; }
+  /// The earliest pending envelope's time, or nullopt when empty — the
+  /// executor's skip-ahead probe for choosing the next window target.
+  std::optional<TimePoint> next_when() const;
+
+  std::size_t pending() const;
+  std::uint64_t posted() const;
+  std::uint64_t delivered() const;
+  std::uint64_t cancelled() const;
 
   /// Invariant audit (runs under Simulator::audit()): envelopes sorted
   /// strictly by (when, seq), none below the horizon, callbacks
@@ -91,8 +102,13 @@ class ShardMailbox {
     Callback fn;
   };
 
-  std::size_t deliver_prefix(EventKernel& kernel, std::size_t count);
+  /// Removes the first `count` envelopes under the caller's lock and
+  /// returns them for out-of-lock delivery.
+  std::vector<Envelope> take_prefix(std::size_t count);
+  static std::size_t deliver(EventKernel& kernel,
+                             std::vector<Envelope> envelopes);
 
+  mutable std::mutex mutex_;
   std::uint32_t to_shard_;
   /// Sorted ascending by (when, seq); seqs are globally unique so the
   /// order is total and insertion-order independent.

@@ -10,12 +10,23 @@
 // byte-identically to the pre-split monolith. Constructed with N > 1
 // shards, it runs N kernels on one thread by merge-stepping: each step
 // drains every mailbox into its destination kernel, then executes the
-// kernel whose head event has the globally smallest (when, seq). All
-// kernels draw sequence numbers from one shared counter and cross-shard
-// deliveries keep their original sequence number, so the execution
-// order — and therefore every metric — is identical to the 1-shard run
-// for ANY partition of the nodes. That is the byte-identical contract
-// the shard-equivalence CI gate enforces.
+// kernel whose head event has the globally smallest (when, seq). Each
+// kernel draws sequence numbers from its own lane (kernel k of N draws
+// k, k+N, k+2N, ...), so draws are globally unique without a shared
+// counter — which is what lets the parallel executor (sim/engine.hpp)
+// run the same kernels on worker threads. Cross-shard deliveries keep
+// their original sequence number and mailbox drains deliver in sorted
+// (when, seq) order, so each kernel executes its own events in the same
+// order as the 1-shard run would have — and therefore every metric is
+// identical for ANY partition of the nodes. That is the byte-identical
+// contract the shard-equivalence CI gate enforces.
+//
+// Thread-awareness: while a worker thread executes a kernel's window
+// (run_shard_before), a thread-local execution context routes now(),
+// time_epoch(), current_shard(), schedule_* and post_* to that kernel,
+// so substrate code is oblivious to whether it runs serially or on a
+// worker. Outside any execution context the world-level members answer,
+// exactly as before the parallel executor existed.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +46,17 @@ class MetricsRegistry;
 
 namespace d2dhb::sim {
 
+namespace detail {
+/// Thread-local execution context: which simulator/kernel the current
+/// thread is executing a window for. Installed by run_shard_before();
+/// null outside the parallel executor (serial behaviour is unchanged).
+struct ExecContext {
+  const void* sim{nullptr};
+  std::uint32_t shard{0};
+};
+inline thread_local constinit ExecContext exec_context{};
+}  // namespace detail
+
 class Simulator {
  public:
   using Callback = EventKernel::Callback;
@@ -46,16 +68,32 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current simulated time. Starts at the epoch (t = 0). This is the
-  /// world clock — the time of the most recently executed event across
-  /// all kernels; individual kernel clocks may lag it, never lead it.
-  TimePoint now() const { return now_; }
+  /// Current simulated time. Starts at the epoch (t = 0). Serially this
+  /// is the world clock — the time of the most recently executed event
+  /// across all kernels. On a worker thread executing a kernel's window
+  /// it is that kernel's clock, which during a callback equals the
+  /// executing event's time — the same value the serial run would see.
+  TimePoint now() const {
+    if (in_exec_context()) {
+      return kernels_[detail::exec_context.shard]->now();
+    }
+    return now_;
+  }
 
   /// Monotone counter bumped whenever simulated time advances — the
   /// refresh key for time-lazy caches (the mobility::SpatialGrid world
   /// index re-bins moving nodes at most once per epoch, so every
   /// proximity query within one event instant shares a single refresh).
-  std::uint64_t time_epoch() const { return time_epoch_; }
+  /// On a worker thread this is the executing kernel's epoch; epochs
+  /// only key caches together with the query time, so kernel-local and
+  /// world-level epochs are interchangeable (time equality is what
+  /// makes a cache hit valid).
+  std::uint64_t time_epoch() const {
+    if (in_exec_context()) {
+      return kernels_[detail::exec_context.shard]->time_epoch();
+    }
+    return time_epoch_;
+  }
 
   /// The world's unified metrics registry. Every substrate constructed
   /// against this simulator registers its counters/gauges here, keyed by
@@ -69,8 +107,9 @@ class Simulator {
 
   /// The shard whose kernel is executing (or, outside of step(), the
   /// shard that schedule_at/schedule_after will target). Shard 0 hosts
-  /// world-global machinery (server, cells) by convention.
-  std::uint32_t current_shard() const { return current_shard_; }
+  /// world-global machinery (server, cells) by convention. On a worker
+  /// thread this is the kernel the thread is executing.
+  std::uint32_t current_shard() const { return active_shard(); }
 
   /// Redirects subsequent schedule_* calls to `shard`'s kernel. Setup
   /// code (Scenario::add_phone) uses this — via ShardGuard — so each
@@ -94,7 +133,21 @@ class Simulator {
   /// Smallest (when - now) over every cross-shard post so far, in
   /// microseconds — the conservative lookahead actually available to a
   /// windowed executor. INT64_MAX when nothing has crossed shards.
-  std::int64_t cross_min_slack_us() const { return cross_min_slack_us_; }
+  std::int64_t cross_min_slack_us() const;
+
+  // --- Parallel-executor hooks (see sim/engine.hpp) -----------------------
+
+  /// Executes `shard`'s kernel strictly before `t` (then advances its
+  /// clock to `t`) with this thread's execution context installed, so
+  /// callbacks see the kernel-local now()/current_shard(). Safe to call
+  /// concurrently for distinct shards; this is the per-window work unit
+  /// of the parallel executor.
+  void run_shard_before(std::uint32_t shard, TimePoint t);
+
+  /// Advances the world clock (not the kernels) to `t` (>= now()); the
+  /// executor calls this at each window barrier so audits and end-of-
+  /// run accounting see a consistent world time.
+  void advance_world_to(TimePoint t);
 
   // --- Scheduling (current shard) -----------------------------------------
 
@@ -173,12 +226,21 @@ class Simulator {
   void drain_mail();
   void maybe_audit();
 
+  bool in_exec_context() const { return detail::exec_context.sim == this; }
+  /// The shard scheduling targets right now: the executing kernel on a
+  /// worker thread, otherwise the serially selected scheduling shard.
+  std::uint32_t active_shard() const {
+    return in_exec_context() ? detail::exec_context.shard : current_shard_;
+  }
+
   std::unique_ptr<metrics::MetricsRegistry> metrics_;
   TimePoint now_{};
   std::uint64_t time_epoch_{0};
-  std::uint64_t next_seq_{0};
   std::uint32_t current_shard_{0};
-  std::int64_t cross_min_slack_us_{INT64_MAX};
+  /// Per-shard minimum cross-post slack; each entry is only written by
+  /// the thread executing that shard (or the main thread serially), so
+  /// no synchronisation is needed. Aggregated by cross_min_slack_us().
+  std::vector<std::int64_t> cross_min_slack_;
   std::vector<std::unique_ptr<EventKernel>> kernels_;
   std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;
   std::uint64_t audit_interval_{0};

@@ -1,0 +1,186 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace d2dhb::sim {
+
+namespace {
+
+/// Persistent worker pool for the windowed executor. Workers block on a
+/// condition variable between rounds (the host may have fewer cores
+/// than workers; spinning would starve the very threads we wait for).
+class WorkerPool {
+ public:
+  WorkerPool(Simulator& sim, std::size_t workers)
+      : sim_(sim), workers_(workers) {
+    threads_.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+
+  ~WorkerPool() { shutdown(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs one window in two barrier-separated phases: first every
+  /// worker drains its kernels' mailboxes up to `target` (advancing
+  /// every horizon while no kernel is executing), then every worker
+  /// executes its kernels strictly before `target`. The drain barrier
+  /// is what makes horizon enforcement deterministic: by the time any
+  /// callback runs, every mailbox already refuses posts below the new
+  /// horizon, so a too-wide window always fails loudly instead of
+  /// racing a concurrent drain. Rethrows the first worker exception.
+  void run_round(TimePoint target) {
+    dispatch(Phase::drain, target);
+    dispatch(Phase::execute, target);
+  }
+
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+      stop_ = true;
+      cv_.notify_all();
+    }
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  enum class Phase { drain, execute };
+
+  void dispatch(Phase phase, TimePoint target) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    phase_ = phase;
+    target_ = target;
+    done_ = 0;
+    ++round_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return done_ == workers_; });
+    if (error_) {
+      const std::exception_ptr error = error_;
+      lock.unlock();
+      shutdown();
+      std::rethrow_exception(error);
+    }
+  }
+
+  void worker_main(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      TimePoint target;
+      Phase phase;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+        target = target_;
+        phase = phase_;
+      }
+      try {
+        // Owned kernels: k % workers == index. The drain phase delivers
+        // sorted (when, seq) envelopes below the new horizon; the
+        // execute phase runs the window with the kernel context
+        // installed on this thread.
+        for (std::size_t s = index; s < sim_.shard_count(); s += workers_) {
+          const auto shard = static_cast<std::uint32_t>(s);
+          if (phase == Phase::drain) {
+            sim_.mailbox(shard).drain_window(sim_.kernel(shard), target);
+          } else {
+            sim_.run_shard_before(shard, target);
+          }
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (++done_ == workers_) cv_.notify_all();
+      }
+    }
+  }
+
+  Simulator& sim_;
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t round_{0};
+  Phase phase_{Phase::drain};
+  TimePoint target_{};
+  std::size_t done_{0};
+  bool stop_{false};
+  std::exception_ptr error_;
+};
+
+/// The earliest pending activity — a kernel head or an undelivered
+/// envelope — across the whole world, or nullopt when drained.
+std::optional<TimePoint> earliest_pending(Simulator& sim) {
+  std::optional<TimePoint> earliest;
+  for (std::uint32_t s = 0; s < sim.shard_count(); ++s) {
+    if (const auto head = sim.kernel(s).peek()) {
+      if (!earliest || head->when < *earliest) earliest = head->when;
+    }
+    if (const auto when = sim.mailbox(s).next_when()) {
+      if (!earliest || *when < *earliest) earliest = *when;
+    }
+  }
+  return earliest;
+}
+
+void collect(Simulator& sim, RunStats& stats) {
+  for (std::uint32_t s = 0; s < sim.shard_count(); ++s) {
+    stats.cross_posted += sim.mailbox(s).posted();
+    stats.cross_delivered += sim.mailbox(s).delivered();
+  }
+  stats.min_slack_us = sim.cross_min_slack_us();
+}
+
+}  // namespace
+
+RunStats run(Simulator& sim, TimePoint until, const RunOptions& options) {
+  if (until < sim.now()) {
+    throw std::invalid_argument("sim::run: target time in the past");
+  }
+  if (options.window <= Duration::zero()) {
+    throw std::invalid_argument("sim::run: window must be positive");
+  }
+  RunStats stats;
+  stats.workers = std::max<std::size_t>(
+      1, std::min({options.threads, options.shards, sim.shard_count()}));
+  if (stats.workers > 1) {
+    WorkerPool pool(sim, stats.workers);
+    for (;;) {
+      // Skip-ahead: jump straight to the earliest pending activity and
+      // run one window from there. Events at exactly `until` (and the
+      // idle tail) belong to the final serial step below.
+      const auto earliest = earliest_pending(sim);
+      if (!earliest || *earliest >= until) break;
+      const TimePoint target = std::min(until, *earliest + options.window);
+      pool.run_round(target);
+      sim.advance_world_to(target);
+      ++stats.windows;
+      if (options.audit || sim.audit_interval() != 0) sim.audit();
+    }
+    pool.shutdown();
+  }
+  // Serial tail: boundary events at `until`, leftover envelopes, and
+  // the clock advance to exactly `until` — the classic executor.
+  sim.run_until(until);
+  collect(sim, stats);
+  return stats;
+}
+
+}  // namespace d2dhb::sim

@@ -65,11 +65,35 @@ EventId EventKernel::schedule_entry(TimePoint t, std::uint64_t seq,
   return EventId{make_id(slot, shard_, s.gen)};
 }
 
+void EventKernel::set_seq_lane(std::uint64_t start, std::uint64_t stride) {
+  if (stride == 0) {
+    throw std::invalid_argument("EventKernel::set_seq_lane: zero stride");
+  }
+  if (seq_ != &own_seq_) {
+    throw std::logic_error(
+        "EventKernel::set_seq_lane: kernel uses a shared sequence counter");
+  }
+  if (own_seq_ != 0 || executed_ != 0 || !heap_.empty()) {
+    throw std::logic_error(
+        "EventKernel::set_seq_lane: kernel has already drawn sequence "
+        "numbers");
+  }
+  own_seq_ = start;
+  seq_stride_ = stride;
+  lane_residue_ = start % stride;
+}
+
+std::uint64_t EventKernel::draw_seq() {
+  const std::uint64_t seq = *seq_;
+  *seq_ += seq_stride_;
+  return seq;
+}
+
 EventId EventKernel::schedule_at(TimePoint t, Callback fn) {
   if (t < now_) {
     throw std::invalid_argument("EventKernel::schedule_at: time in the past");
   }
-  return schedule_entry(t, (*seq_)++, std::move(fn));
+  return schedule_entry(t, draw_seq(), std::move(fn));
 }
 
 EventId EventKernel::schedule_after(Duration delay, Callback fn) {
@@ -85,7 +109,9 @@ EventId EventKernel::schedule_with_seq(TimePoint t, std::uint64_t seq,
     throw std::invalid_argument(
         "EventKernel::schedule_with_seq: time in the past");
   }
-  if (seq >= *seq_) {
+  // Only this kernel's own lane is bounded by its counter; an envelope
+  // carrying another kernel's draw may legitimately exceed it.
+  if (seq % seq_stride_ == lane_residue_ && seq >= *seq_) {
     throw std::invalid_argument(
         "EventKernel::schedule_with_seq: sequence number from the future");
   }
@@ -165,6 +191,14 @@ void EventKernel::run_until(TimePoint t) {
   advance_to(t);
 }
 
+void EventKernel::run_before(TimePoint t) {
+  while (const auto head = peek()) {
+    if (head->when >= t) break;
+    step();
+  }
+  advance_to(t);
+}
+
 void EventKernel::advance_to(TimePoint t) {
   if (t < now_) {
     throw std::invalid_argument("EventKernel::advance_to: time in the past");
@@ -220,7 +254,7 @@ void EventKernel::audit() const {
       audit_fail("heap entry references out-of-range slot " +
                  std::to_string(e.slot));
     }
-    if (e.seq >= *seq_) {
+    if (e.seq % seq_stride_ == lane_residue_ && e.seq >= *seq_) {
       audit_fail("heap entry for slot " + std::to_string(e.slot) +
                  " has sequence number from the future");
     }

@@ -19,13 +19,14 @@ struct EnvelopeOrder {
 
 ShardMailbox::Ticket ShardMailbox::post(TimePoint when, std::uint64_t seq,
                                         std::uint32_t from_shard, Callback fn) {
+  if (!fn) {
+    throw std::invalid_argument("ShardMailbox::post: empty callback");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (when < horizon_) {
     throw std::logic_error(
         "ShardMailbox::post: event below the synchronization horizon "
         "(destination shard has already executed past this time)");
-  }
-  if (!fn) {
-    throw std::invalid_argument("ShardMailbox::post: empty callback");
   }
   const std::uint64_t ticket = next_ticket_++;
   // Insert keeping box_ sorted by (when, seq). Posts arrive roughly in
@@ -43,6 +44,7 @@ ShardMailbox::Ticket ShardMailbox::post(TimePoint when, std::uint64_t seq,
 
 bool ShardMailbox::cancel(Ticket ticket) {
   if (!ticket.valid()) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it =
       std::find_if(box_.begin(), box_.end(), [&](const Envelope& e) {
         return e.ticket == ticket.value;
@@ -53,39 +55,89 @@ bool ShardMailbox::cancel(Ticket ticket) {
   return true;
 }
 
-std::size_t ShardMailbox::deliver_prefix(EventKernel& kernel,
-                                         std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) {
-    Envelope& e = box_[i];
-    kernel.schedule_with_seq(e.when, e.seq, std::move(e.fn));
-  }
+std::vector<ShardMailbox::Envelope> ShardMailbox::take_prefix(
+    std::size_t count) {
+  std::vector<Envelope> taken(
+      std::make_move_iterator(box_.begin()),
+      std::make_move_iterator(box_.begin() +
+                              static_cast<std::ptrdiff_t>(count)));
   box_.erase(box_.begin(), box_.begin() + static_cast<std::ptrdiff_t>(count));
   delivered_ += count;
-  return count;
+  return taken;
+}
+
+std::size_t ShardMailbox::deliver(EventKernel& kernel,
+                                  std::vector<Envelope> envelopes) {
+  for (Envelope& e : envelopes) {
+    kernel.schedule_with_seq(e.when, e.seq, std::move(e.fn));
+  }
+  return envelopes.size();
 }
 
 std::size_t ShardMailbox::drain_into(EventKernel& kernel) {
-  return deliver_prefix(kernel, box_.size());
+  std::vector<Envelope> taken;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    taken = take_prefix(box_.size());
+  }
+  return deliver(kernel, std::move(taken));
 }
 
 std::size_t ShardMailbox::drain_window(EventKernel& kernel,
                                        TimePoint new_horizon) {
-  if (new_horizon < horizon_) {
-    throw std::logic_error(
-        "ShardMailbox::drain_window: horizon may not move backwards");
+  std::vector<Envelope> taken;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (new_horizon < horizon_) {
+      throw std::logic_error(
+          "ShardMailbox::drain_window: horizon may not move backwards");
+    }
+    // Strict comparison: an envelope exactly at the boundary belongs to
+    // the next window (its destination has only synchronized *up to*
+    // the horizon, exclusive).
+    const auto end = std::lower_bound(
+        box_.begin(), box_.end(), new_horizon,
+        [](const Envelope& e, TimePoint h) { return e.when < h; });
+    const auto count = static_cast<std::size_t>(end - box_.begin());
+    horizon_ = new_horizon;
+    taken = take_prefix(count);
   }
-  // Strict comparison: an envelope exactly at the boundary belongs to
-  // the next window (its destination has only synchronized *up to* the
-  // horizon, exclusive).
-  const auto end = std::lower_bound(
-      box_.begin(), box_.end(), new_horizon,
-      [](const Envelope& e, TimePoint h) { return e.when < h; });
-  const auto count = static_cast<std::size_t>(end - box_.begin());
-  horizon_ = new_horizon;
-  return deliver_prefix(kernel, count);
+  return deliver(kernel, std::move(taken));
+}
+
+TimePoint ShardMailbox::horizon() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return horizon_;
+}
+
+std::optional<TimePoint> ShardMailbox::next_when() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (box_.empty()) return std::nullopt;
+  return box_.front().when;
+}
+
+std::size_t ShardMailbox::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return box_.size();
+}
+
+std::uint64_t ShardMailbox::posted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return posted_;
+}
+
+std::uint64_t ShardMailbox::delivered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t ShardMailbox::cancelled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
 }
 
 void ShardMailbox::debug_corrupt_order() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (box_.size() >= 2) std::swap(box_[0], box_[1]);
 }
 
@@ -96,6 +148,7 @@ namespace {
 }  // namespace
 
 void ShardMailbox::audit() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < box_.size(); ++i) {
     const Envelope& e = box_[i];
     if (!e.fn) {

@@ -15,9 +15,15 @@ Simulator::Simulator(std::size_t shards)
   }
   kernels_.reserve(shards);
   mailboxes_.reserve(shards);
+  cross_min_slack_.assign(shards, INT64_MAX);
   for (std::size_t s = 0; s < shards; ++s) {
     const auto shard = static_cast<std::uint32_t>(s);
-    kernels_.push_back(std::make_unique<EventKernel>(shard, &next_seq_));
+    kernels_.push_back(std::make_unique<EventKernel>(shard));
+    // Kernel k draws sequence numbers k, k+N, k+2N, ... — globally
+    // unique without a shared counter, so kernels can draw concurrently
+    // from worker threads. With one shard this is the plain 0,1,2,...
+    // counter the monolith used.
+    kernels_.back()->set_seq_lane(s, shards);
     mailboxes_.push_back(std::make_unique<ShardMailbox>(shard));
   }
 #ifdef D2DHB_AUDIT
@@ -56,40 +62,80 @@ void Simulator::post_to(std::uint32_t shard, TimePoint when, Callback fn) {
     throw std::out_of_range("Simulator::post_to: shard " +
                             std::to_string(shard) + " out of range");
   }
-  if (when < now_) {
+  const TimePoint local_now = now();
+  if (when < local_now) {
     throw std::invalid_argument("Simulator::post_to: time in the past");
   }
-  if (shard == current_shard_) {
-    // Same kernel: an ordinary schedule, drawing the next global seq.
+  const std::uint32_t from = active_shard();
+  if (shard == from) {
+    // Same kernel: an ordinary schedule, drawing the next lane seq.
     kernels_[shard]->schedule_at(when, std::move(fn));
     return;
   }
-  // Cross-shard: draw the sequence number NOW — the same one a direct
-  // schedule would have drawn — so delivery preserves the event's place
-  // in the global (when, seq) order (the byte-identical contract).
-  cross_min_slack_us_ = std::min(cross_min_slack_us_, (when - now_).count());
-  mailboxes_[shard]->post(when, next_seq_++, current_shard_, std::move(fn));
+  // Cross-shard: draw the sequence number NOW, from the posting
+  // kernel's lane — the same one a direct schedule would have drawn —
+  // so delivery preserves the event's place in the per-kernel
+  // (when, seq) order (the byte-identical contract).
+  cross_min_slack_[from] =
+      std::min(cross_min_slack_[from], (when - local_now).count());
+  mailboxes_[shard]->post(when, kernels_[from]->draw_seq(), from,
+                          std::move(fn));
 }
 
 void Simulator::post_after(std::uint32_t shard, Duration delay, Callback fn) {
   if (delay < Duration::zero()) {
     throw std::invalid_argument("Simulator::post_after: negative delay");
   }
-  post_to(shard, now_ + delay, std::move(fn));
+  post_to(shard, now() + delay, std::move(fn));
+}
+
+std::int64_t Simulator::cross_min_slack_us() const {
+  std::int64_t min_slack = INT64_MAX;
+  for (const std::int64_t slack : cross_min_slack_) {
+    min_slack = std::min(min_slack, slack);
+  }
+  return min_slack;
+}
+
+void Simulator::run_shard_before(std::uint32_t shard, TimePoint t) {
+  if (shard >= kernels_.size()) {
+    throw std::out_of_range("Simulator::run_shard_before: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  const detail::ExecContext previous = detail::exec_context;
+  detail::exec_context = detail::ExecContext{this, shard};
+  try {
+    kernels_[shard]->run_before(t);
+  } catch (...) {
+    detail::exec_context = previous;
+    throw;
+  }
+  detail::exec_context = previous;
+}
+
+void Simulator::advance_world_to(TimePoint t) {
+  if (t < now_) {
+    throw std::invalid_argument(
+        "Simulator::advance_world_to: time in the past");
+  }
+  if (t > now_) {
+    now_ = t;
+    ++time_epoch_;
+  }
 }
 
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
-  if (t < now_) {
+  if (t < now()) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  return kernels_[current_shard_]->schedule_at(t, std::move(fn));
+  return kernels_[active_shard()]->schedule_at(t, std::move(fn));
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback fn) {
   if (delay < Duration::zero()) {
     throw std::invalid_argument("Simulator::schedule_after: negative delay");
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now() + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {

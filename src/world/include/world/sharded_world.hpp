@@ -1,20 +1,15 @@
-// The N-shard executor: runs a multi-kernel Simulator in round-robin
-// conservative time windows on one thread.
+// DEPRECATED shim over the unified engine entrypoint (sim/engine.hpp).
 //
-// Correctness does not depend on the window at all — the Simulator
-// merge-steps whichever kernel holds the globally smallest (when, seq)
-// head and drains mailboxes eagerly, so execution order (and every
-// metric) is byte-identical to the 1-shard run for any window and any
-// partition. What the windows add is the conservative-synchronization
-// bookkeeping a parallel executor needs: at each window boundary every
-// mailbox's horizon advances to the window start, enforcing (and
-// auditing) the rule that nothing may be posted into a shard's already-
-// executed past. The lookahead math is favourable: heartbeat periods
-// are 240–300 s while the latencies that cross shards (D2D transfer,
-// backhaul) are milliseconds, so windows of seconds still leave every
-// cross-shard event far beyond its destination's horizon — the
-// min-slack statistic below measures exactly how far, and is the input
-// for choosing the window of the multi-threaded follow-up.
+// ShardedWorld was the single-threaded N-shard executor: round-robin
+// conservative time windows over a multi-kernel Simulator. That role —
+// and its multi-threaded successor — now lives behind sim::run() with
+// sim::RunOptions; every scenario, bench, and tool goes through that
+// API. This wrapper survives for exactly one release so out-of-tree
+// callers keep compiling: it forwards to sim::run() on one worker
+// thread. The `window` constructor argument is validated but otherwise
+// ignored — the engine derives its synchronization quantum from the
+// cross-shard latency floor instead (a wide window would let a kernel
+// run past a point another kernel still needs to post into).
 #pragma once
 
 #include <cstdint>
@@ -40,12 +35,12 @@ class ShardedWorld {
     std::int64_t min_slack_us{INT64_MAX};
   };
 
-  /// `window` is the round-robin synchronization quantum. Must be
-  /// positive; it only affects horizon bookkeeping, never results.
+  /// Deprecated — call sim::run(sim, t, sim::RunOptions{...}) instead.
+  /// `window` must still be positive (historical contract) but the
+  /// engine chooses the actual quantum.
   ShardedWorld(sim::Simulator& sim, Duration window);
 
-  /// Runs the world to `t`, window by window, advancing every mailbox
-  /// horizon at each boundary.
+  /// Runs the world to `t` through the engine, serially.
   void run_until(TimePoint t);
 
   Duration window() const { return window_; }

@@ -1,12 +1,18 @@
-// Seeded-run equivalence across the sharded executor: the same crowd,
-// run on 1, 2, and 4 event kernels, must produce byte-identical
-// metrics exports. This is the contract that lets the partition-ready
-// world replace the monolithic simulator without perturbing any seeded
-// result in the repo — the executor merge-steps kernels by global
-// (when, seq), so the execution order is provably the 1-kernel order
-// for ANY spatial partition.
+// Seeded-run equivalence across the parallel executor: the same crowd,
+// run serially and on 2 and 4 worker threads, must produce
+// byte-identical metrics exports. This is the contract that lets the
+// parallel engine replace the monolithic simulator without perturbing
+// any seeded result in the repo — each kernel replays its shard's
+// events in (when, seq) order and mailbox drains are sorted, so the
+// per-shard event sequence is provably independent of the worker
+// count and of the concurrency cap.
+//
+// The crowd spans a 480 m area, which the geometric partition cuts
+// into four 120 m strips (one kernel each); every arm below therefore
+// runs the SAME four-kernel world and only the executor varies.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -22,81 +28,97 @@ std::string metrics_json(const CrowdMetrics& m) {
   return os.str();
 }
 
-CrowdConfig small_crowd(std::uint64_t seed) {
+// Four geometric strips (area 480 m / 120 m per strip), eight phone
+// clusters spread across them: border clusters guarantee cross-kernel
+// channel traffic in every run.
+CrowdConfig striped_crowd(std::uint64_t seed) {
   CrowdConfig config;
-  config.phones = 24;
+  config.phones = 48;
   config.relay_fraction = 0.25;
-  config.area_m = 70.0;
-  config.clusters = 2;
+  config.area_m = 480.0;
+  config.clusters = 8;
   config.duration_s = 900.0;
   config.seed = seed;
   return config;
 }
 
-void expect_shard_invariance(const CrowdConfig& base, const char* what) {
-  CrowdConfig one = base;
-  one.shards = 1;
-  const CrowdMetrics reference = run_d2d_crowd(one);
+struct ExecutorArm {
+  const char* label;
+  std::size_t shards;   ///< Concurrency cap (not the kernel count).
+  std::size_t threads;  ///< Worker threads.
+};
+
+void expect_executor_invariance(const CrowdConfig& base, const char* what) {
+  CrowdConfig serial = base;
+  serial.shards = 1;
+  serial.threads = 1;
+  const CrowdMetrics reference = run_d2d_crowd(serial);
   const std::string reference_json = metrics_json(reference);
 
-  for (std::size_t shards : {2u, 4u}) {
+  constexpr ExecutorArm kArms[] = {
+      {"2 threads", 256, 2},
+      {"4 threads", 256, 4},
+      {"4 threads capped to 2 shards", 2, 4},
+  };
+  for (const ExecutorArm& spec : kArms) {
     CrowdConfig arm = base;
-    arm.shards = shards;
-    const CrowdMetrics sharded = run_d2d_crowd(arm);
-    const std::string label =
-        std::string(what) + " @ " + std::to_string(shards) + " shards";
-    EXPECT_EQ(sharded.total_l3, reference.total_l3) << label;
-    EXPECT_EQ(sharded.sim_events, reference.sim_events) << label;
-    EXPECT_EQ(sharded.heartbeats_delivered, reference.heartbeats_delivered)
+    arm.shards = spec.shards;
+    arm.threads = spec.threads;
+    const CrowdMetrics parallel = run_d2d_crowd(arm);
+    const std::string label = std::string(what) + " @ " + spec.label;
+    EXPECT_EQ(parallel.total_l3, reference.total_l3) << label;
+    EXPECT_EQ(parallel.sim_events, reference.sim_events) << label;
+    EXPECT_EQ(parallel.heartbeats_delivered, reference.heartbeats_delivered)
         << label;
-    EXPECT_EQ(sharded.fallbacks, reference.fallbacks) << label;
-    EXPECT_EQ(sharded.link_losses, reference.link_losses) << label;
-    EXPECT_DOUBLE_EQ(sharded.total_radio_uah, reference.total_radio_uah)
+    EXPECT_EQ(parallel.fallbacks, reference.fallbacks) << label;
+    EXPECT_EQ(parallel.link_losses, reference.link_losses) << label;
+    EXPECT_DOUBLE_EQ(parallel.total_radio_uah, reference.total_radio_uah)
         << label;
     // The full registry export — every counter, gauge, and histogram
     // the substrates registered — must serialize byte for byte the
     // same. Cross-shard mailbox counters deliberately live OUTSIDE the
     // registry so this comparison can hold exactly.
-    EXPECT_EQ(metrics_json(sharded), reference_json) << label;
+    EXPECT_EQ(metrics_json(parallel), reference_json) << label;
   }
 }
 
 TEST(ShardEquivalence, StaticCrowdIsByteIdentical) {
-  expect_shard_invariance(small_crowd(4242), "static crowd");
+  expect_executor_invariance(striped_crowd(4242), "static crowd");
 }
 
 TEST(ShardEquivalence, MobileCrowdIsByteIdentical) {
-  CrowdConfig config = small_crowd(977);
+  CrowdConfig config = striped_crowd(977);
   config.mobile = true;
   config.reassess_interval_s = 45.0;
-  expect_shard_invariance(config, "mobile crowd");
+  expect_executor_invariance(config, "mobile crowd");
 }
 
 TEST(ShardEquivalence, MulticellCrowdIsByteIdentical) {
-  CrowdConfig config = small_crowd(1313);
+  CrowdConfig config = striped_crowd(1313);
   config.cell_grid = 4;
   config.operator_policy = core::SelectionPolicy::coverage_greedy;
-  expect_shard_invariance(config, "multicell crowd");
+  expect_executor_invariance(config, "multicell crowd");
 }
 
 TEST(ShardEquivalence, OriginalSchemeIsByteIdentical) {
-  CrowdConfig one = small_crowd(55);
-  one.shards = 1;
-  CrowdConfig four = small_crowd(55);
-  four.shards = 4;
-  const CrowdMetrics a = run_original_crowd(one);
-  const CrowdMetrics b = run_original_crowd(four);
+  CrowdConfig serial = striped_crowd(55);
+  serial.shards = 1;
+  serial.threads = 1;
+  CrowdConfig parallel = striped_crowd(55);
+  parallel.threads = 4;
+  const CrowdMetrics a = run_original_crowd(serial);
+  const CrowdMetrics b = run_original_crowd(parallel);
   EXPECT_EQ(a.total_l3, b.total_l3);
   EXPECT_EQ(a.sim_events, b.sim_events);
   EXPECT_EQ(metrics_json(a), metrics_json(b));
 }
 
-// The executor actually exercises the mailboxes: a D2D crowd spanning
-// several strips must push border traffic (transfer completions,
-// channel deliveries) across kernels.
+// The executor actually exercises the mailboxes: a crowd spanning four
+// strips pushes every cellular delivery from strips 1..3 through the
+// channel's home kernel, so cross-kernel traffic is guaranteed.
 TEST(ShardEquivalence, CrossShardTrafficFlows) {
-  CrowdConfig config = small_crowd(4242);
-  config.shards = 4;
+  CrowdConfig config = striped_crowd(4242);
+  config.threads = 4;
   const CrowdMetrics m = run_d2d_crowd(config);
   EXPECT_GT(m.cross_shard_posted, 0u);
   EXPECT_EQ(m.cross_shard_posted, m.cross_shard_delivered);

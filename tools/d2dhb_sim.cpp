@@ -4,7 +4,10 @@
 // with the knobs exposed as flags and results printed as tables (CSV via
 // D2DHB_CSV_DIR, like the benches). Independent runs (the two system
 // arms, the seed matrix) execute in parallel through the runner library;
-// thread count comes from --threads, D2DHB_THREADS, or the hardware.
+// that job-level thread count comes from D2DHB_THREADS or the hardware.
+// For crowd, --threads instead sets the engine worker threads INSIDE
+// each simulation (sim::RunOptions::threads) — results are byte-
+// identical for any value.
 //
 //   d2dhb_sim pair   [--ues N] [--tx K] [--distance M] [--bytes B]
 //                    [--period S] [--capacity M] [--lte] [--seed S]
@@ -46,7 +49,6 @@ using namespace d2dhb::scenario;
       << "  crowd      clustered crowd, real heartbeat periods\n"
       << crowd_flags_help()
       << "    --seeds N (run N seeds starting at --seed, aggregated)\n"
-      << "    --threads T (worker threads; default D2DHB_THREADS or hw)\n"
       << "  baselines  related-work strategy comparison\n"
       << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n"
@@ -143,8 +145,6 @@ int run_crowd(CliFlags& flags, const char* argv0) {
   }
   const auto seed_count =
       static_cast<std::size_t>(flags.number("--seeds", 1));
-  const auto threads =
-      static_cast<std::size_t>(flags.number("--threads", 0));
   const auto metrics_out = flags.value("--metrics-out");
   check(flags, argv0);
   if (seed_count == 0) {
@@ -160,9 +160,11 @@ int run_crowd(CliFlags& flags, const char* argv0) {
           cfg.seed = seed;
           return CrowdCell{run_d2d_crowd(cfg), run_original_crowd(cfg)};
         });
+    // Job parallelism across seeds stays with the runner's default
+    // (D2DHB_THREADS or hardware); --threads was consumed above into
+    // config.threads — engine workers inside each simulation.
     sweep.point(std::to_string(config.phones) + " phones", config)
         .seeds(runner::seed_range(config.seed, seed_count))
-        .threads(threads)
         .metric("signaling saved",
                 [](const CrowdCell& c) {
                   return 1.0 - static_cast<double>(c.d2d.total_l3) /
@@ -208,7 +210,7 @@ int run_crowd(CliFlags& flags, const char* argv0) {
     return 0;
   }
 
-  const runner::ExperimentRunner arms{threads};
+  const runner::ExperimentRunner arms;
   const auto cells = arms.run_jobs(2, [&](std::size_t i) {
     return i == 0 ? run_original_crowd(config) : run_d2d_crowd(config);
   });
