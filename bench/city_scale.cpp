@@ -1,0 +1,166 @@
+// City-scale throughput and memory: the arena-backed world at 100k,
+// 250k, and 1M phones — events/sec, wall time split into build vs run,
+// strip-arena footprint, and process peak RSS per arm. Arms ascend by
+// phone count so the getrusage peak-RSS reading after each arm is
+// attributable to it (ru_maxrss is process-monotone). Writes
+// BENCH_city_scale.json.
+//
+//   bench_city_scale [--smoke] [--threads T] [--duration S]
+//                    [--heap-agents] [--max-rss-mb N]
+//
+// --smoke shrinks the arms to CI size; --max-rss-mb N fails (exit 1)
+// when the final peak RSS exceeds N MB — the CI memory-regression
+// bound for the smoke leg (0 = unbounded, the default).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/memory.hpp"
+#include "common/table.hpp"
+#include "scenario/city.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace d2dhb;
+using namespace d2dhb::scenario;
+
+struct CityArm {
+  std::size_t phones{0};
+  std::size_t threads{0};
+  double build_s{0.0};
+  double run_s{0.0};
+  double events_per_sec{0.0};
+  CityMetrics metrics;
+};
+
+CityArm run_arm(const CityConfig& config) {
+  using clock = std::chrono::steady_clock;
+  CityArm arm;
+  arm.phones = config.phones;
+  arm.threads = config.threads;
+  const auto t0 = clock::now();
+  auto world = build_city(config);
+  const auto t1 = clock::now();
+  arm.metrics = run_city(*world, config);
+  const auto t2 = clock::now();
+  arm.build_s = std::chrono::duration<double>(t1 - t0).count();
+  arm.run_s = std::chrono::duration<double>(t2 - t1).count();
+  arm.events_per_sec =
+      arm.run_s > 0.0
+          ? static_cast<double>(arm.metrics.sim_events) / arm.run_s
+          : 0.0;
+  return arm;
+}
+
+void emit_arm_json(std::ostream& out, const CityArm& a, bool last) {
+  out << "    {\"phones\": " << a.phones << ", \"threads\": " << a.threads
+      << ", \"strips\": " << a.metrics.strips
+      << ", \"cells\": " << a.metrics.cells
+      << ", \"relays\": " << a.metrics.relays
+      << ", \"build_s\": " << a.build_s << ", \"run_s\": " << a.run_s
+      << ", \"sim_events\": " << a.metrics.sim_events
+      << ", \"events_per_sec\": " << a.events_per_sec
+      << ", \"total_l3\": " << a.metrics.total_l3
+      << ", \"heartbeats_delivered\": " << a.metrics.heartbeats_delivered
+      << ", \"forwarded_via_d2d\": " << a.metrics.forwarded_via_d2d
+      << ", \"cross_shard_posted\": " << a.metrics.cross_shard_posted
+      << ", \"arena_bytes_allocated\": " << a.metrics.arena_bytes_allocated
+      << ", \"arena_bytes_reserved\": " << a.metrics.arena_bytes_reserved
+      << ", \"arena_objects\": " << a.metrics.arena_objects
+      // getrusage peak — monotone, so ascending arms attribute it.
+      << ", \"peak_rss_bytes\": " << a.metrics.peak_rss_bytes
+      << "}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const auto threads = static_cast<std::size_t>(
+      bench::flag_number(argc, argv, "--threads", 1));
+  const double max_rss_mb =
+      bench::flag_number(argc, argv, "--max-rss-mb", 0.0);
+  const bool heap_agents = bench::has_flag(argc, argv, "--heap-agents");
+
+  CityConfig base;
+  base.threads = threads;
+  base.heap_agents = heap_agents;
+  // Smoke keeps the full preset's shape (multiple strips and cells)
+  // at CI size; the real arms are the ISSUE's 100k/250k/1M ladder.
+  base.duration_s = bench::flag_number(argc, argv, "--duration",
+                                       smoke ? 120.0 : 300.0);
+  const std::vector<std::size_t> ladder =
+      smoke ? std::vector<std::size_t>{2000, 10000}
+            : std::vector<std::size_t>{100000, 250000, 1000000};
+
+  bench::print_header(
+      "City scale: arena-backed crowd at city phone counts",
+      "n/a (substrate bench; the paper's setting is operator-scale "
+      "heartbeat traffic)");
+
+  std::vector<CityArm> results;
+  for (const std::size_t phones : ladder) {
+    CityConfig config = base;
+    config.phones = phones;
+    results.push_back(run_arm(config));
+    const CityArm& a = results.back();
+    std::cout << "  " << phones << " phones: build "
+              << Table::num(a.build_s, 1) << " s, run "
+              << Table::num(a.run_s, 1) << " s, "
+              << Table::num(a.events_per_sec, 0) << " events/s, peak RSS "
+              << (a.metrics.peak_rss_bytes / (1024 * 1024)) << " MB\n";
+  }
+
+  Table table{{"Phones", "Strips", "Cells", "Build (s)", "Run (s)",
+               "Events/sec", "Arena MB", "Peak RSS MB"}};
+  for (const CityArm& a : results) {
+    table.add_row({std::to_string(a.phones),
+                   std::to_string(a.metrics.strips),
+                   std::to_string(a.metrics.cells),
+                   Table::num(a.build_s, 1), Table::num(a.run_s, 1),
+                   Table::num(a.events_per_sec, 0),
+                   std::to_string(a.metrics.arena_bytes_reserved /
+                                  (1024 * 1024)),
+                   std::to_string(a.metrics.peak_rss_bytes /
+                                  (1024 * 1024))});
+  }
+  bench::emit(table, "city_scale");
+
+  std::string path = "BENCH_city_scale.json";
+  if (const char* dir = std::getenv("D2DHB_CSV_DIR")) {
+    if (*dir != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+  } else {
+    out << "{\n"
+        << "  \"workload\": \"city_scale\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"agent_memory\": \"" << (heap_agents ? "heap" : "pooled")
+        << "\",\n"
+        << "  \"duration_s\": " << base.duration_s << ",\n"
+        << "  \"arms\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit_arm_json(out, results[i], i + 1 == results.size());
+    }
+    out << "  ]\n"
+        << "}\n";
+    std::cout << "(json written to " << path << ")\n";
+  }
+
+  const double final_rss_mb =
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+  if (max_rss_mb > 0.0 && final_rss_mb > max_rss_mb) {
+    std::cerr << "error: peak RSS " << final_rss_mb << " MB exceeds the "
+              << "--max-rss-mb bound of " << max_rss_mb << " MB\n";
+    return 1;
+  }
+  return 0;
+}

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "apps/heartbeat_app.hpp"
+#include "common/arena.hpp"
 #include "common/id.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,8 +26,13 @@ class MessageMonitor {
   /// Receives every intercepted heartbeat.
   using Transport = std::function<void(const net::HeartbeatMessage&)>;
 
+  /// `arena` pools the integrated apps (a Scenario passes the node's
+  /// strip arena, so every app on a strip is strip-local memory);
+  /// nullptr falls back to a private per-monitor heap arena —
+  /// standalone monitors behave exactly like the pre-arena code.
   MessageMonitor(sim::Simulator& sim, NodeId node,
-                 IdGenerator<MessageId>& message_ids);
+                 IdGenerator<MessageId>& message_ids,
+                 Arena* arena = nullptr);
 
   /// Where intercepted heartbeats go. Replacing the transport affects
   /// subsequent heartbeats only.
@@ -40,7 +45,7 @@ class MessageMonitor {
   void start_all(Duration offset = Duration::zero());
   void stop_all();
 
-  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() { return apps_; }
+  std::vector<apps::HeartbeatApp*>& apps() { return apps_; }
   std::size_t app_count() const { return apps_.size(); }
   std::uint64_t intercepted() const { return intercepted_; }
   NodeId node() const { return node_; }
@@ -52,7 +57,10 @@ class MessageMonitor {
   NodeId node_;
   IdGenerator<MessageId>& message_ids_;
   Transport transport_;
-  std::vector<std::unique_ptr<apps::HeartbeatApp>> apps_;
+  /// Where integrated apps are constructed (borrowed strip arena or a
+  /// private heap-mode one); the arena owns their lifetimes.
+  ArenaHandle arena_;
+  std::vector<apps::HeartbeatApp*> apps_;
   std::uint64_t intercepted_{0};
 };
 

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "apps/heartbeat_app.hpp"
+#include "common/arena.hpp"
 #include "core/phone.hpp"
 #include "metrics/registry.hpp"
 #include "radio/base_station.hpp"
@@ -16,8 +16,11 @@ namespace d2dhb::core {
 
 class OriginalAgent {
  public:
+  /// `arena` pools the heartbeat apps (a Scenario passes the phone's
+  /// strip arena); nullptr = private per-agent heap fallback.
   OriginalAgent(sim::Simulator& sim, Phone& phone, apps::AppProfile app,
-                radio::BaseStation& bs, IdGenerator<MessageId>& message_ids);
+                radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
+                Arena* arena = nullptr);
 
   /// Adds another IM app to this phone (phones often run several).
   void add_app(apps::AppProfile app, IdGenerator<MessageId>& message_ids);
@@ -26,7 +29,7 @@ class OriginalAgent {
   void stop();
 
   Phone& phone() { return phone_; }
-  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() { return apps_; }
+  std::vector<apps::HeartbeatApp*>& apps() { return apps_; }
   std::uint64_t heartbeats_sent() const { return sent_ctr_->value(); }
 
  private:
@@ -35,7 +38,10 @@ class OriginalAgent {
   sim::Simulator& sim_;
   Phone& phone_;
   radio::BaseStation& bs_;
-  std::vector<std::unique_ptr<apps::HeartbeatApp>> apps_;
+  /// Where apps live (borrowed strip arena or a private heap-mode one);
+  /// the arena owns their lifetimes.
+  ArenaHandle arena_;
+  std::vector<apps::HeartbeatApp*> apps_;
 
   // Registry-backed counter (owned by the simulator's registry).
   metrics::Counter* sent_ctr_;

@@ -27,7 +27,15 @@ struct PhoneConfig {
   /// Screen-off platform draw — everything that isn't a radio. Excluded
   /// from radio-attributable comparisons; identical across systems.
   MilliAmps baseline_current{40.0};
+  /// Owning mobility handoff: Scenario::add_phone adopts the model into
+  /// the phone's strip arena and points `mobility_ref` at it, so the
+  /// Phone itself never owns a heap allocation. Builders keep writing
+  /// `pc.mobility = std::make_unique<...>(...)` as before.
   std::unique_ptr<mobility::MobilityModel> mobility;
+  /// Non-owning alternative: the model lives elsewhere (a strip arena
+  /// via Scenario::emplace_mobility, a test fixture) and must outlive
+  /// the phone. Takes precedence over `mobility` when both are set.
+  const mobility::MobilityModel* mobility_ref{nullptr};
 };
 
 class Phone {
@@ -56,7 +64,9 @@ class Phone {
 
  private:
   NodeId id_;
-  std::unique_ptr<mobility::MobilityModel> mobility_;
+  /// Non-owning: the model lives in the scenario's strip arena (or a
+  /// caller-owned fixture) and outlives the phone.
+  const mobility::MobilityModel* mobility_;
   energy::EnergyMeter meter_;
   energy::ComponentHandle baseline_;
   radio::CellularModem modem_;

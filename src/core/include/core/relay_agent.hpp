@@ -5,10 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <optional>
 #include <vector>
 
 #include "apps/heartbeat_app.hpp"
+#include "common/arena.hpp"
 #include "core/incentive.hpp"
 #include "core/phone.hpp"
 #include "core/scheduler.hpp"
@@ -50,9 +51,11 @@ class RelayAgent {
     metrics::StatsRow row() const;
   };
 
+  /// `arena` pools extra own-apps (a Scenario passes the phone's strip
+  /// arena); nullptr = private per-agent heap fallback.
   RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
              radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
-             IncentiveLedger* ledger = nullptr);
+             IncentiveLedger* ledger = nullptr, Arena* arena = nullptr);
 
   /// Installs another IM app on the relay phone itself. The primary app
   /// drives the scheduler's collection window (its period is T); extra
@@ -93,9 +96,12 @@ class RelayAgent {
   IncentiveLedger* ledger_;
   MessageScheduler scheduler_;
   apps::HeartbeatApp own_app_;
-  std::vector<std::unique_ptr<apps::HeartbeatApp>> extra_apps_;
-  std::unique_ptr<energy::Battery> battery_;
-  std::unique_ptr<sim::PeriodicTimer> battery_poll_;
+  /// Where extra own-apps live (borrowed strip arena or a private
+  /// heap-mode one); the arena owns their lifetimes.
+  ArenaHandle arena_;
+  std::vector<apps::HeartbeatApp*> extra_apps_;
+  std::optional<energy::Battery> battery_;
+  std::optional<sim::PeriodicTimer> battery_poll_;
   bool running_{false};
   bool retired_{false};
 

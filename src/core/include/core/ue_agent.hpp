@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <optional>
 #include <vector>
 
 #include "apps/heartbeat_app.hpp"
@@ -61,9 +61,11 @@ class UeAgent {
 
   enum class LinkState { idle, discovering, connecting, connected };
 
+  /// `arena` pools the UE's heartbeat apps (a Scenario passes the
+  /// phone's strip arena); nullptr = private per-agent heap fallback.
   UeAgent(sim::Simulator& sim, Phone& phone, Params params,
           radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
-          Rng rng);
+          Rng rng, Arena* arena = nullptr);
 
   /// Installs another IM app on this phone (phones typically run
   /// several — Table I). All apps share the same relay link; the
@@ -79,9 +81,7 @@ class UeAgent {
   MessageMonitor& monitor() { return monitor_; }
   /// The primary app (first installed).
   apps::HeartbeatApp& app() { return *monitor_.apps().front(); }
-  std::vector<std::unique_ptr<apps::HeartbeatApp>>& apps() {
-    return monitor_.apps();
-  }
+  std::vector<apps::HeartbeatApp*>& apps() { return monitor_.apps(); }
   LinkState link_state() const { return state_; }
   NodeId current_relay() const { return relay_; }
   /// Snapshot of this UE's metrics (assembled from the registry).
@@ -114,7 +114,7 @@ class UeAgent {
   LinkState state_{LinkState::idle};
   NodeId relay_{};
   NodeId handover_target_{};
-  std::unique_ptr<sim::PeriodicTimer> reassess_timer_;
+  std::optional<sim::PeriodicTimer> reassess_timer_;
   TimePoint backoff_until_{};
   Duration current_backoff_{};
   std::vector<net::HeartbeatMessage> awaiting_link_;

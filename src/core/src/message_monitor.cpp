@@ -5,8 +5,9 @@
 namespace d2dhb::core {
 
 MessageMonitor::MessageMonitor(sim::Simulator& sim, NodeId node,
-                               IdGenerator<MessageId>& message_ids)
-    : sim_(sim), node_(node), message_ids_(message_ids) {}
+                               IdGenerator<MessageId>& message_ids,
+                               Arena* arena)
+    : sim_(sim), node_(node), message_ids_(message_ids), arena_(arena) {}
 
 void MessageMonitor::set_transport(Transport transport) {
   transport_ = std::move(transport);
@@ -15,18 +16,19 @@ void MessageMonitor::set_transport(Transport transport) {
 apps::HeartbeatApp& MessageMonitor::integrate_app(apps::AppProfile profile) {
   const AppId app_id{apps_.empty() ? node_.value
                                    : node_.value * 1000 + apps_.size() + 1};
-  apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+  apps::HeartbeatApp& app = arena_.get().create<apps::HeartbeatApp>(
       sim_, node_, app_id, std::move(profile), message_ids_,
-      [this](const net::HeartbeatMessage& m) { on_heartbeat(m); }));
-  return *apps_.back();
+      [this](const net::HeartbeatMessage& m) { on_heartbeat(m); });
+  apps_.push_back(&app);
+  return app;
 }
 
 void MessageMonitor::start_all(Duration offset) {
-  for (auto& app : apps_) app->start(offset);
+  for (auto* app : apps_) app->start(offset);
 }
 
 void MessageMonitor::stop_all() {
-  for (auto& app : apps_) app->stop();
+  for (auto* app : apps_) app->stop();
 }
 
 void MessageMonitor::on_heartbeat(const net::HeartbeatMessage& message) {

@@ -6,8 +6,9 @@ namespace d2dhb::core {
 
 OriginalAgent::OriginalAgent(sim::Simulator& sim, Phone& phone,
                              apps::AppProfile app, radio::BaseStation& bs,
-                             IdGenerator<MessageId>& message_ids)
-    : sim_(sim), phone_(phone), bs_(bs) {
+                             IdGenerator<MessageId>& message_ids,
+                             Arena* arena)
+    : sim_(sim), phone_(phone), bs_(bs), arena_(arena) {
   phone_.modem().set_uplink_handler(
       [this](const net::UplinkBundle& bundle) { bs_.receive(bundle); });
   sent_ctr_ = &sim_.metrics().counter("original.heartbeats_sent",
@@ -22,17 +23,17 @@ void OriginalAgent::add_app(apps::AppProfile app,
   const AppId app_id{apps_.empty()
                          ? phone_.id().value
                          : phone_.id().value * 1000 + apps_.size() + 1};
-  apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+  apps_.push_back(&arena_.get().create<apps::HeartbeatApp>(
       sim_, phone_.id(), app_id, std::move(app), message_ids,
       [this](const net::HeartbeatMessage& m) { send(m); }));
 }
 
 void OriginalAgent::start(Duration heartbeat_offset) {
-  for (auto& app : apps_) app->start(heartbeat_offset);
+  for (auto* app : apps_) app->start(heartbeat_offset);
 }
 
 void OriginalAgent::stop() {
-  for (auto& app : apps_) app->stop();
+  for (auto* app : apps_) app->stop();
 }
 
 void OriginalAgent::send(const net::HeartbeatMessage& message) {

@@ -9,16 +9,19 @@ Phone::Phone(sim::Simulator& sim, NodeId id, PhoneConfig config,
              d2d::WifiDirectMedium& medium,
              radio::SignalingCounter& signaling, Rng rng)
     : id_(id),
-      mobility_(std::move(config.mobility)),
+      // A still-owning config (mobility set, no ref) cannot be accepted
+      // here: the unique_ptr dies with the by-value parameter. Scenario
+      // adopts the model into a strip arena and fills mobility_ref
+      // before construction; standalone builders pass mobility_ref.
+      mobility_(config.mobility_ref != nullptr
+                    ? config.mobility_ref
+                    : throw std::invalid_argument(
+                          "PhoneConfig.mobility is required")),
       meter_(sim),
       baseline_(meter_.register_component("baseline",
                                           config.baseline_current)),
       modem_(sim, id, std::move(config.rrc), meter_, signaling),
-      wifi_(sim, id, medium,
-            *(mobility_ ? mobility_.get()
-                        : throw std::invalid_argument(
-                              "PhoneConfig.mobility is required")),
-            meter_, config.d2d_energy, rng) {
+      wifi_(sim, id, medium, *mobility_, meter_, config.d2d_energy, rng) {
   // Per-node energy roll-ups, evaluated at snapshot time. The component
   // radios register their own energy.*_uah gauges; these add the
   // radio-attributable sum and the everything-included total.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <set>
 #include <utility>
 
@@ -22,7 +21,7 @@ MessageScheduler::Params labelled(MessageScheduler::Params p, NodeId node) {
 RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
                        radio::BaseStation& bs,
                        IdGenerator<MessageId>& message_ids,
-                       IncentiveLedger* ledger)
+                       IncentiveLedger* ledger, Arena* arena)
     : sim_(sim),
       phone_(phone),
       params_(params),
@@ -36,7 +35,8 @@ RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
                  }),
       own_app_(sim, phone.id(), AppId{phone.id().value}, params.own_app,
                message_ids,
-               [this](const net::HeartbeatMessage& m) { on_own_heartbeat(m); }) {
+               [this](const net::HeartbeatMessage& m) { on_own_heartbeat(m); }),
+      arena_(arena) {
   phone_.modem().set_uplink_handler(
       [this](const net::UplinkBundle& bundle) { on_uplink_complete(bundle); });
   phone_.wifi().set_receive_handler(
@@ -52,10 +52,10 @@ RelayAgent::RelayAgent(sim::Simulator& sim, Phone& phone, Params params,
   heartbeats_uplinked_ctr_ = &reg.counter("relay.heartbeats_uplinked", labels);
   feedback_acks_sent_ctr_ = &reg.counter("relay.feedback_acks_sent", labels);
   if (params_.battery_capacity.value > 0.0) {
-    battery_ = std::make_unique<energy::Battery>(
-        phone_.meter(), params_.battery_capacity, [this] { retire(); });
-    battery_poll_ = std::make_unique<sim::PeriodicTimer>(
-        sim_, params_.battery_poll_interval, [this] { poll_battery(); });
+    battery_.emplace(phone_.meter(), params_.battery_capacity,
+                     [this] { retire(); });
+    battery_poll_.emplace(sim_, params_.battery_poll_interval,
+                          [this] { poll_battery(); });
     reg.gauge_fn("battery.level", labels,
                  [this] { return battery_->level(); });
     battery_sampler_ = &reg.sampler("battery.trace", labels);
@@ -94,7 +94,7 @@ void RelayAgent::retire() {
 
 apps::HeartbeatApp& RelayAgent::add_own_app(apps::AppProfile profile) {
   const AppId app_id{phone_.id().value * 1000 + extra_apps_.size() + 2};
-  extra_apps_.push_back(std::make_unique<apps::HeartbeatApp>(
+  apps::HeartbeatApp& app = arena_.get().create<apps::HeartbeatApp>(
       sim_, phone_.id(), app_id, std::move(profile), message_ids_,
       [this](const net::HeartbeatMessage& m) {
         // Extra own apps' heartbeats join the buffer like forwarded
@@ -108,8 +108,9 @@ apps::HeartbeatApp& RelayAgent::add_own_app(apps::AppProfile profile) {
           phone_.modem().transmit(std::move(bundle));
         }
         refresh_advert();
-      }));
-  return *extra_apps_.back();
+      });
+  extra_apps_.push_back(&app);
+  return app;
 }
 
 void RelayAgent::start(Duration heartbeat_offset) {
@@ -120,13 +121,13 @@ void RelayAgent::start(Duration heartbeat_offset) {
   phone_.wifi().set_group_owner_intent(d2d::kMaxGroupOwnerIntent);
   refresh_advert();
   if (params_.run_own_heartbeats) own_app_.start(heartbeat_offset);
-  for (auto& app : extra_apps_) app->start(heartbeat_offset);
+  for (auto* app : extra_apps_) app->start(heartbeat_offset);
 }
 
 void RelayAgent::stop() {
   running_ = false;
   own_app_.stop();
-  for (auto& app : extra_apps_) app->stop();
+  for (auto* app : extra_apps_) app->stop();
   scheduler_.flush_now(FlushReason::forced);
   phone_.wifi().set_listening(false);
   phone_.wifi().set_advert(d2d::RelayAdvert{});

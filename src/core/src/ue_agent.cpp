@@ -10,7 +10,7 @@ namespace d2dhb::core {
 
 UeAgent::UeAgent(sim::Simulator& sim, Phone& phone, Params params,
                  radio::BaseStation& bs, IdGenerator<MessageId>& message_ids,
-                 Rng rng)
+                 Rng rng, Arena* arena)
     : sim_(sim),
       phone_(phone),
       params_(params),
@@ -27,7 +27,7 @@ UeAgent::UeAgent(sim::Simulator& sim, Phone& phone, Params params,
             send_via_cellular(m, /*is_fallback=*/true);
           },
           phone.id()),
-      monitor_(sim, phone.id(), message_ids) {
+      monitor_(sim, phone.id(), message_ids, arena) {
   auto& reg = sim_.metrics();
   const metrics::Labels labels{phone_.id().value, -1, "ue"};
   heartbeats_ctr_ = &reg.counter("ue.heartbeats", labels);
@@ -54,8 +54,8 @@ UeAgent::UeAgent(sim::Simulator& sim, Phone& phone, Params params,
       [this](NodeId peer) { on_link_lost(peer); });
   phone_.wifi().set_group_owner_intent(0);  // UEs never want to own a group
   if (params_.reassess_interval > Duration::zero()) {
-    reassess_timer_ = std::make_unique<sim::PeriodicTimer>(
-        sim_, params_.reassess_interval, [this] { reassess(); });
+    reassess_timer_.emplace(sim_, params_.reassess_interval,
+                            [this] { reassess(); });
   }
 }
 

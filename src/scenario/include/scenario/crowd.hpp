@@ -67,6 +67,12 @@ struct CrowdConfig {
   /// Worker threads driving the kernels (1 = serial execution; capped
   /// by `shards` and by the world's strip count).
   std::size_t threads{1};
+  /// Ablation: one heap allocation per agent object instead of the
+  /// pooled per-strip arenas (Scenario::Params::agent_memory). Seeded
+  /// results are byte-identical either way; only the memory layout and
+  /// footprint differ — the arena-vs-heap equivalence gate holds the
+  /// arena layer to that.
+  bool heap_agents{false};
   std::uint64_t seed{7};
 };
 
@@ -104,6 +110,17 @@ struct CrowdMetrics {
   /// microseconds (INT64_MAX when nothing crossed) — the conservative
   /// lookahead available to a parallel executor.
   std::int64_t cross_min_slack_us{INT64_MAX};
+  /// Agent-memory footprint: bytes handed out by the strip arenas,
+  /// bytes they reserved from the OS, and the object count (plain
+  /// counters, NOT registry metrics — they differ between the pooled
+  /// and heap layouts, which must stay byte-identical in the registry).
+  std::uint64_t arena_bytes_allocated{0};
+  std::uint64_t arena_bytes_reserved{0};
+  std::uint64_t arena_objects{0};
+  /// Process peak RSS (getrusage) sampled after the run, in bytes.
+  /// Monotone over the process lifetime — meaningful for the FIRST or
+  /// LARGEST world a process builds, not per-arm in a shrinking sweep.
+  std::uint64_t peak_rss_bytes{0};
   /// Full registry snapshot taken at the end of the run (every counter,
   /// gauge, and histogram the substrates registered).
   metrics::Snapshot metrics;

@@ -43,7 +43,8 @@ class CliFlags {
 /// Applies every recognized crowd knob onto `config`:
 ///   --phones N --relay-fraction F --area M --duration S --mobile
 ///   --policy greedy|random|density|first-n --cell-grid N
-///   --grid-cell M --legacy-scan --reassess S --shards N --seed S
+///   --grid-cell M --legacy-scan --reassess S --shards N --threads N
+///   --heap-agents --seed S
 /// Returns an error message ("unknown --policy: x", "--shards must be
 /// in [1, 256]") or the empty string on success. Flags not present
 /// leave their field untouched, so drivers can pre-load defaults.

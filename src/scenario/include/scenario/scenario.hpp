@@ -5,8 +5,10 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/id.hpp"
 #include "common/rng.hpp"
 #include "core/original_agent.hpp"
@@ -40,6 +42,11 @@ class Scenario {
     /// routes border traffic through the shard mailboxes. Results are
     /// byte-identical either way.
     world::ShardPlan shard_plan{};
+    /// Agent memory layout: pooled (one bump arena per shard strip —
+    /// the production layout) or heap (one allocation per object, the
+    /// ablation arm of the arena-vs-heap byte-identical gate). Results
+    /// are byte-identical either way; only the layout differs.
+    Arena::Mode agent_memory{Arena::Mode::pooled};
   };
 
   Scenario();
@@ -74,6 +81,11 @@ class Scenario {
   }
   /// Dense NodeId → phone lookup (nullptr for unknown ids).
   core::Phone* find_phone(NodeId node) const;
+  /// Dense NodeId → agent lookups via the NodeTable's agent-slot
+  /// column (nullptr for nodes without that role).
+  core::RelayAgent* find_relay(NodeId node) const;
+  core::UeAgent* find_ue(NodeId node) const;
+  core::OriginalAgent* find_original(NodeId node) const;
 
   /// The world's dense node-state layer (positions, serving cells,
   /// roles, battery levels, D2D slots, home shards).
@@ -102,8 +114,28 @@ class Scenario {
   Rng fork_rng() { return rng_.fork(); }
 
   /// Adds a phone; the id is assigned automatically (1, 2, 3, ...) and
-  /// the phone attaches to the nearest cell site.
+  /// the phone attaches to the nearest cell site. The phone (and an
+  /// owning config.mobility model, if given) is placed in the arena of
+  /// the strip owning its initial position.
   core::Phone& add_phone(core::PhoneConfig config);
+
+  /// Constructs a mobility model directly in the arena of the strip
+  /// owning `at` — the zero-heap path for streamed city construction
+  /// (`pc.mobility_ref = &world.emplace_mobility<...>(pos, ...)`).
+  /// `at` must be the model's initial position; it only selects the
+  /// strip, the model's own constructor arguments follow.
+  template <typename M, typename... Args>
+  const M& emplace_mobility(mobility::Vec2 at, Args&&... args) {
+    return arenas_[shard_plan_.shard_for(at)]->create<M>(
+        std::forward<Args>(args)...);
+  }
+
+  /// The arena owning strip `shard`'s agents (construction hook for
+  /// advanced builders; most callers go through add_phone/add_*).
+  Arena& strip_arena(std::uint32_t shard) { return *arenas_.at(shard); }
+  /// Arena footprint summed over every strip.
+  Arena::Stats arena_stats() const;
+  Arena::Mode agent_memory() const { return agent_memory_; }
 
   core::RelayAgent& add_relay(core::Phone& phone,
                               core::RelayAgent::Params params);
@@ -118,12 +150,13 @@ class Scenario {
   void register_session(const core::Phone& phone, Duration tolerance,
                         AppId app = AppId::invalid());
 
-  std::vector<std::unique_ptr<core::Phone>>& phones() { return phones_; }
-  std::vector<std::unique_ptr<core::RelayAgent>>& relays() { return relays_; }
-  std::vector<std::unique_ptr<core::UeAgent>>& ues() { return ues_; }
-  std::vector<std::unique_ptr<core::OriginalAgent>>& originals() {
-    return originals_;
-  }
+  /// Dense agent stores: row = the NodeTable's agent-slot column value.
+  /// The objects themselves live in the strip arenas; these vectors are
+  /// the index.
+  std::vector<core::Phone*>& phones() { return phones_; }
+  std::vector<core::RelayAgent*>& relays() { return relays_; }
+  std::vector<core::UeAgent*>& ues() { return ues_; }
+  std::vector<core::OriginalAgent*>& originals() { return originals_; }
 
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
 
@@ -151,10 +184,18 @@ class Scenario {
   /// One message-id lane per strip (lane k of V mints 1+k, 1+k+V, ...).
   /// Sized once at construction — agents keep references into it.
   std::vector<IdGenerator<MessageId>> message_lanes_;
-  std::vector<std::unique_ptr<core::Phone>> phones_;
-  std::vector<std::unique_ptr<core::RelayAgent>> relays_;
-  std::vector<std::unique_ptr<core::UeAgent>> ues_;
-  std::vector<std::unique_ptr<core::OriginalAgent>> originals_;
+  Arena::Mode agent_memory_;
+  std::vector<core::Phone*> phones_;
+  std::vector<core::RelayAgent*> relays_;
+  std::vector<core::UeAgent*> ues_;
+  std::vector<core::OriginalAgent*> originals_;
+  /// One arena per shard strip, holding that strip's mobility models,
+  /// phones, agents, and pooled apps. Declared last: the arenas tear
+  /// down FIRST (finalizers in reverse allocation order, so each
+  /// strip's agents die before their phones, and phones before their
+  /// models) while the sim, medium, and table are still alive — the
+  /// same ordering the per-object unique_ptr stores had.
+  std::vector<std::unique_ptr<Arena>> arenas_;
 };
 
 }  // namespace d2dhb::scenario

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/memory.hpp"
 #include "core/operator_selection.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
@@ -46,6 +47,8 @@ Scenario::Params world_params(const CrowdConfig& config,
   params.cell_sites = std::move(sites);
   params.shard_plan =
       world::ShardPlan{strip_count(config), 0.0, config.area_m};
+  params.agent_memory =
+      config.heap_agents ? Arena::Mode::heap : Arena::Mode::pooled;
   return params;
 }
 
@@ -96,6 +99,11 @@ void collect_common(Scenario& world, const CrowdConfig& config,
     metrics.cross_shard_delivered += world.sim().mailbox(s).delivered();
   }
   metrics.cross_min_slack_us = world.sim().cross_min_slack_us();
+  const Arena::Stats arena = world.arena_stats();
+  metrics.arena_bytes_allocated = arena.bytes_allocated;
+  metrics.arena_bytes_reserved = arena.bytes_reserved;
+  metrics.arena_objects = arena.objects;
+  metrics.peak_rss_bytes = peak_rss_bytes();
   metrics.metrics = world.metrics_snapshot();
   (void)config;
 }

@@ -71,6 +71,7 @@ std::string apply_crowd_flags(CliFlags& flags, CrowdConfig& config) {
     return "--threads must be at least 1";
   }
   config.threads = static_cast<std::size_t>(threads);
+  if (flags.has("--heap-agents")) config.heap_agents = true;
   if (const auto policy = flags.value("--policy")) {
     if (*policy == "greedy") {
       config.operator_policy = core::SelectionPolicy::coverage_greedy;
@@ -101,7 +102,10 @@ const char* crowd_flags_help() {
       "    concurrently; the partition itself is geometric, so seeded\n"
       "    results are byte-identical for any N)\n"
       "    --threads N (worker threads driving the kernels; 1 = serial.\n"
-      "    Seeded results are byte-identical for any N)\n";
+      "    Seeded results are byte-identical for any N)\n"
+      "    --heap-agents (one heap allocation per agent instead of the\n"
+      "    pooled per-strip arenas; the ablation arm of the arena-vs-\n"
+      "    heap gate — seeded results are byte-identical)\n";
 }
 
 }  // namespace d2dhb::scenario

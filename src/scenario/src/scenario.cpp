@@ -40,7 +40,8 @@ Scenario::Scenario(Params params)
       sites_(params.cell_sites.empty()
                  ? std::vector<mobility::Vec2>{{0.0, 0.0}}
                  : params.cell_sites),
-      site_grid_(site_grid_cell(sites_)) {
+      site_grid_(site_grid_cell(sites_)),
+      agent_memory_(params.agent_memory) {
   cells_.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     cells_.push_back(std::make_unique<radio::BaseStation>(
@@ -50,8 +51,10 @@ Scenario::Scenario(Params params)
   ledger_.attach(sim_);
   ledger_.bind_metrics(sim_.metrics());
   message_lanes_.reserve(shard_plan_.shards);
+  arenas_.reserve(shard_plan_.shards);
   for (std::size_t s = 0; s < shard_plan_.shards; ++s) {
     message_lanes_.emplace_back(1 + s, shard_plan_.shards);
+    arenas_.push_back(std::make_unique<Arena>(agent_memory_));
   }
   table_auditor_token_ = sim_.add_auditor([this] { table_.audit(); });
 }
@@ -72,6 +75,44 @@ core::Phone* Scenario::find_phone(NodeId node) const {
   return phone_by_id_[node.value];
 }
 
+core::RelayAgent* Scenario::find_relay(NodeId node) const {
+  if (!table_.contains(node) ||
+      table_.role_of(node) != world::NodeRole::relay) {
+    return nullptr;
+  }
+  const std::uint32_t slot = table_.agent_slot(node);
+  return slot == world::kNoAgentSlot ? nullptr : relays_[slot];
+}
+
+core::UeAgent* Scenario::find_ue(NodeId node) const {
+  if (!table_.contains(node) || table_.role_of(node) != world::NodeRole::ue) {
+    return nullptr;
+  }
+  const std::uint32_t slot = table_.agent_slot(node);
+  return slot == world::kNoAgentSlot ? nullptr : ues_[slot];
+}
+
+core::OriginalAgent* Scenario::find_original(NodeId node) const {
+  if (!table_.contains(node) ||
+      table_.role_of(node) != world::NodeRole::original) {
+    return nullptr;
+  }
+  const std::uint32_t slot = table_.agent_slot(node);
+  return slot == world::kNoAgentSlot ? nullptr : originals_[slot];
+}
+
+Arena::Stats Scenario::arena_stats() const {
+  Arena::Stats total;
+  for (const auto& arena : arenas_) {
+    const Arena::Stats& s = arena->stats();
+    total.bytes_allocated += s.bytes_allocated;
+    total.bytes_reserved += s.bytes_reserved;
+    total.blocks += s.blocks;
+    total.objects += s.objects;
+  }
+  return total;
+}
+
 std::uint64_t Scenario::total_l3() const {
   std::uint64_t total = 0;
   for (const auto& cell : cells_) total += cell->signaling().total();
@@ -87,63 +128,88 @@ std::uint64_t Scenario::worst_cell_peak(Duration window) const {
 }
 
 core::Phone& Scenario::add_phone(core::PhoneConfig config) {
-  if (!config.mobility) {
+  const mobility::MobilityModel* model = config.mobility_ref;
+  if (model == nullptr && !config.mobility) {
     throw std::invalid_argument("Scenario::add_phone: mobility required");
   }
   const NodeId id = node_ids_.next();
   // Cell selection: nearest site to the phone's initial position,
   // answered by the site world index (ties go to the lowest site
   // index, the same rule as a first-strictly-closer linear scan).
-  const mobility::Vec2 at = config.mobility->position_at(sim_.now());
+  const mobility::Vec2 at =
+      (model != nullptr ? model : config.mobility.get())
+          ->position_at(sim_.now());
   const std::size_t best = site_grid_.nearest(at);
+  const std::uint32_t shard = shard_plan_.shard_for(at);
+  Arena& arena = *arenas_[shard];
+  if (model == nullptr) {
+    // The config owned the model; its lifetime moves into the strip
+    // arena (adopted BEFORE the phone, so reverse-order teardown
+    // destroys the phone first, the model after).
+    model = &arena.adopt(std::move(config.mobility));
+  }
+  config.mobility_ref = model;
   // Register the node's world state BEFORE the phone exists: the radio
   // attaches to the medium during Phone construction and must find its
-  // row (the mobility pointer is stable across the unique_ptr move).
-  table_.add(id, config.mobility.get());
+  // row.
+  table_.add(id, model);
   table_.set_cell(id, static_cast<std::uint32_t>(best));
-  table_.set_shard(id, shard_plan_.shard_for(at));
+  table_.set_shard(id, shard);
   if (id.value >= phone_by_id_.size()) {
     phone_by_id_.resize(id.value + 1, nullptr);
   }
+  core::Phone* phone = nullptr;
   {
     // Home the phone's timers (RRC, link monitor, agent beats) on its
-    // shard's kernel.
-    sim::ShardGuard guard(sim_, table_.shard_of(id));
-    phones_.push_back(std::make_unique<core::Phone>(
-        sim_, id, std::move(config), medium_, cells_[best]->signaling(),
-        rng_.fork()));
+    // shard's kernel — and its state in that shard's arena.
+    sim::ShardGuard guard(sim_, shard);
+    phone = &arena.create<core::Phone>(sim_, id, std::move(config), medium_,
+                                       cells_[best]->signaling(),
+                                       rng_.fork());
   }
-  phone_by_id_[id.value] = phones_.back().get();
-  return *phones_.back();
+  phones_.push_back(phone);
+  phone_by_id_[id.value] = phone;
+  return *phone;
 }
 
 core::RelayAgent& Scenario::add_relay(core::Phone& phone,
                                       core::RelayAgent::Params params) {
+  const std::uint32_t shard = table_.shard_of(phone.id());
   table_.set_role(phone.id(), world::NodeRole::relay);
-  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
-  relays_.push_back(std::make_unique<core::RelayAgent>(
+  table_.set_agent_slot(phone.id(),
+                        static_cast<std::uint32_t>(relays_.size()));
+  Arena& arena = *arenas_[shard];
+  sim::ShardGuard guard(sim_, shard);
+  relays_.push_back(&arena.create<core::RelayAgent>(
       sim_, phone, std::move(params), serving_bs(phone),
-      message_lanes_[table_.shard_of(phone.id())], &ledger_));
+      message_lanes_[shard], &ledger_, &arena));
   return *relays_.back();
 }
 
 core::UeAgent& Scenario::add_ue(core::Phone& phone,
                                 core::UeAgent::Params params) {
+  const std::uint32_t shard = table_.shard_of(phone.id());
   table_.set_role(phone.id(), world::NodeRole::ue);
-  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
-  ues_.push_back(std::make_unique<core::UeAgent>(
+  table_.set_agent_slot(phone.id(), static_cast<std::uint32_t>(ues_.size()));
+  Arena& arena = *arenas_[shard];
+  sim::ShardGuard guard(sim_, shard);
+  ues_.push_back(&arena.create<core::UeAgent>(
       sim_, phone, std::move(params), serving_bs(phone),
-      message_lanes_[table_.shard_of(phone.id())], rng_.fork()));
+      message_lanes_[shard], rng_.fork(), &arena));
   return *ues_.back();
 }
 
 core::OriginalAgent& Scenario::add_original(core::Phone& phone,
                                             apps::AppProfile app) {
+  const std::uint32_t shard = table_.shard_of(phone.id());
   table_.set_role(phone.id(), world::NodeRole::original);
-  sim::ShardGuard guard(sim_, table_.shard_of(phone.id()));
-  originals_.push_back(std::make_unique<core::OriginalAgent>(
-      sim_, phone, std::move(app), serving_bs(phone),
-      message_lanes_[table_.shard_of(phone.id())]));
+  table_.set_agent_slot(phone.id(),
+                        static_cast<std::uint32_t>(originals_.size()));
+  Arena& arena = *arenas_[shard];
+  sim::ShardGuard guard(sim_, shard);
+  originals_.push_back(&arena.create<core::OriginalAgent>(
+      sim_, phone, std::move(app), serving_bs(phone), message_lanes_[shard],
+      &arena));
   return *originals_.back();
 }
 

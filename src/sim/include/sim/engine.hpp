@@ -2,8 +2,8 @@
 // target time, serially or on a pool of worker threads, behind a single
 // RunOptions knob. Every driver — d2dhb_sim, the benches, SweepRunner
 // scenarios — goes through sim::run(); the old hand-assembled
-// Simulator::run_until / world::ShardedWorld::run_until pairing remains
-// only as a deprecated shim.
+// Simulator::run_until / world::ShardedWorld::run_until pairing is
+// gone (the deprecated shim was removed once its callers ported).
 //
 // Threading model: `workers = min(threads, shards, kernel count)`
 // threads each own the kernels `k % workers == w`. Execution proceeds
@@ -68,6 +68,10 @@ struct RunStats {
   /// Smallest cross-shard post slack in microseconds; INT64_MAX when
   /// nothing crossed a kernel border.
   std::int64_t min_slack_us{INT64_MAX};
+  /// Process peak RSS (getrusage) when the run returned, in bytes —
+  /// monotone over the process lifetime, so it measures the largest
+  /// world this process has driven, not this run in isolation.
+  std::uint64_t peak_rss_bytes{0};
 };
 
 /// Runs `sim` to `until` (inclusive, like Simulator::run_until) under

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory.hpp"
+
 namespace d2dhb::sim {
 
 namespace {
@@ -146,6 +148,7 @@ void collect(Simulator& sim, RunStats& stats) {
     stats.cross_delivered += sim.mailbox(s).delivered();
   }
   stats.min_slack_us = sim.cross_min_slack_us();
+  stats.peak_rss_bytes = peak_rss_bytes();
 }
 
 }  // namespace

@@ -30,6 +30,8 @@ namespace d2dhb::world {
 inline constexpr std::uint32_t kNoCell = UINT32_MAX;
 /// D2D-slot column value for "no radio on the medium".
 inline constexpr std::uint32_t kNoD2dSlot = UINT32_MAX;
+/// Agent-slot column value for "no agent attached to this node".
+inline constexpr std::uint32_t kNoAgentSlot = UINT32_MAX;
 
 enum class NodeRole : std::uint8_t {
   none,      ///< Registered but no agent yet.
@@ -92,14 +94,26 @@ class NodeTable {
     shard_[check_row(id)] = shard;
   }
 
+  /// Index into the scenario's dense per-role agent store (the row of
+  /// this node's UeAgent/RelayAgent/OriginalAgent; kNoAgentSlot for
+  /// nodes without an agent). Owned by the Scenario, which assigns the
+  /// slot together with the role.
+  std::uint32_t agent_slot(NodeId id) const {
+    return agent_slot_[check_row(id)];
+  }
+  void set_agent_slot(NodeId id, std::uint32_t slot) {
+    agent_slot_[check_row(id)] = slot;
+  }
+
   /// Registered ids in ascending order (freshly built; for iteration-
   /// order-sensitive callers like relay selection).
   std::vector<NodeId> ids() const;
 
   /// Invariant audit (the D2DHB_AUDIT layer): row 0 unused, registered
   /// count matches the mobility column, unregistered rows hold default
-  /// column values, battery levels in [0, 1], and no two nodes share a
-  /// D2D slot. Throws std::logic_error naming the offending row.
+  /// column values, battery levels in [0, 1], no two nodes share a
+  /// D2D slot, and agent slots only attach to rows that hold a role.
+  /// Throws std::logic_error naming the offending row.
   void audit() const;
 
  private:
@@ -114,6 +128,7 @@ class NodeTable {
   std::vector<double> battery_;
   std::vector<std::uint32_t> d2d_slot_;
   std::vector<std::uint32_t> shard_;
+  std::vector<std::uint32_t> agent_slot_;
   std::size_t registered_{0};
 };
 

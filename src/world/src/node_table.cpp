@@ -21,6 +21,7 @@ void NodeTable::add(NodeId id, const mobility::MobilityModel* mobility) {
     battery_.resize(rows, 1.0);
     d2d_slot_.resize(rows, kNoD2dSlot);
     shard_.resize(rows, 0);
+    agent_slot_.resize(rows, kNoAgentSlot);
   }
   if (mobility_[id.value] == nullptr) ++registered_;
   mobility_[id.value] = mobility;
@@ -34,6 +35,7 @@ void NodeTable::remove(NodeId id) {
   battery_[id.value] = 1.0;
   d2d_slot_[id.value] = kNoD2dSlot;
   shard_[id.value] = 0;
+  agent_slot_[id.value] = kNoAgentSlot;
   --registered_;
 }
 
@@ -78,7 +80,7 @@ void NodeTable::audit() const {
   const std::size_t rows = mobility_.size();
   if (cell_.size() != rows || role_.size() != rows ||
       battery_.size() != rows || d2d_slot_.size() != rows ||
-      shard_.size() != rows) {
+      shard_.size() != rows || agent_slot_.size() != rows) {
     audit_fail("column lengths diverged");
   }
   if (rows > 0 && mobility_[0] != nullptr) {
@@ -94,10 +96,15 @@ void NodeTable::audit() const {
                    " battery level outside [0, 1]");
       }
       if (d2d_slot_[row] != kNoD2dSlot) slots.push_back(d2d_slot_[row]);
+      if (agent_slot_[row] != kNoAgentSlot &&
+          role_[row] == NodeRole::none) {
+        audit_fail("row " + std::to_string(row) +
+                   " holds an agent slot but no role");
+      }
     } else {
       if (cell_[row] != kNoCell || role_[row] != NodeRole::none ||
           battery_[row] != 1.0 || d2d_slot_[row] != kNoD2dSlot ||
-          shard_[row] != 0) {
+          shard_[row] != 0 || agent_slot_[row] != kNoAgentSlot) {
         audit_fail("unregistered row " + std::to_string(row) +
                    " holds non-default column values");
       }

@@ -1,0 +1,161 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace d2dhb {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+/// Appends its tag to a shared journal on destruction, so tests can
+/// assert the exact teardown order.
+struct Journaled {
+  Journaled(int tag, std::vector<int>& journal)
+      : tag_(tag), journal_(journal) {}
+  ~Journaled() { journal_.push_back(tag_); }
+  int tag_;
+  std::vector<int>& journal_;
+};
+
+struct alignas(64) Overaligned {
+  double payload[4];
+};
+
+TEST(ArenaTest, AllocateRespectsAlignment) {
+  for (const Arena::Mode mode : {Arena::Mode::pooled, Arena::Mode::heap}) {
+    Arena arena{mode};
+    for (const std::size_t align : {1u, 2u, 8u, 16u, 64u, 256u}) {
+      // Offset the cursor by an odd size first so alignment is earned,
+      // not inherited from a fresh block.
+      arena.allocate(3, 1);
+      EXPECT_TRUE(aligned_to(arena.allocate(8, align), align))
+          << "mode " << static_cast<int>(mode) << " align " << align;
+    }
+  }
+}
+
+TEST(ArenaTest, CreatePlacesOveralignedTypes) {
+  Arena arena;
+  arena.allocate(1, 1);
+  Overaligned& o = arena.create<Overaligned>();
+  EXPECT_TRUE(aligned_to(&o, alignof(Overaligned)));
+}
+
+TEST(ArenaTest, RejectsBadAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(Arena(Arena::Mode::pooled, 0), std::invalid_argument);
+}
+
+TEST(ArenaTest, DestructorsRunInReverseAllocationOrder) {
+  std::vector<int> journal;
+  {
+    Arena arena;
+    arena.create<Journaled>(1, journal);
+    arena.create<Journaled>(2, journal);
+    arena.create<Journaled>(3, journal);
+  }
+  EXPECT_EQ(journal, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ArenaTest, ResetRunsFinalizersAndAllowsReuse) {
+  std::vector<int> journal;
+  Arena arena;
+  void* first = &arena.create<Journaled>(1, journal);
+  arena.create<Journaled>(2, journal);
+  const std::uint64_t reserved = arena.stats().bytes_reserved;
+  const std::uint64_t blocks = arena.stats().blocks;
+  arena.reset();
+  EXPECT_EQ(journal, (std::vector<int>{2, 1}));
+  EXPECT_EQ(arena.stats().objects, 0u);
+  // Pooled blocks are retained: the next generation reuses the same
+  // storage from the start instead of growing the footprint.
+  void* again = &arena.create<Journaled>(3, journal);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved);
+  EXPECT_EQ(arena.stats().blocks, blocks);
+}
+
+TEST(ArenaTest, HeapModeReleasesMemoryOnReset) {
+  Arena arena{Arena::Mode::heap};
+  arena.allocate(1024, 8);
+  EXPECT_GT(arena.stats().bytes_reserved, 0u);
+  EXPECT_EQ(arena.stats().blocks, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.stats().bytes_reserved, 0u);
+  EXPECT_EQ(arena.stats().bytes_allocated, 0u);
+}
+
+TEST(ArenaTest, AdoptTakesOwnershipAndDeletesInOrder) {
+  std::vector<int> journal;
+  {
+    Arena arena;
+    arena.create<Journaled>(1, journal);
+    arena.adopt(std::make_unique<Journaled>(2, journal));
+    arena.create<Journaled>(3, journal);
+    EXPECT_EQ(arena.stats().objects, 3u);
+  }
+  EXPECT_EQ(journal, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedBlock) {
+  Arena arena{Arena::Mode::pooled, 1024};
+  void* small = arena.allocate(16, 8);
+  void* huge = arena.allocate(64 * 1024, 8);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(arena.stats().blocks, 2u);
+  // The small block stays current: the next small allocation does not
+  // land in (and waste) the dedicated oversize block... but any block
+  // with room is acceptable; what matters is both survive writes.
+  auto* bytes = static_cast<std::byte*>(huge);
+  bytes[0] = std::byte{0xAB};
+  bytes[64 * 1024 - 1] = std::byte{0xCD};
+  EXPECT_EQ(bytes[0], std::byte{0xAB});
+}
+
+TEST(ArenaTest, StatsTrackAllocations) {
+  Arena arena;
+  EXPECT_EQ(arena.stats().bytes_allocated, 0u);
+  arena.allocate(100, 4);
+  EXPECT_EQ(arena.stats().bytes_allocated, 100u);
+  arena.allocate(1, 8);  // rounded up to one aligned unit
+  EXPECT_EQ(arena.stats().bytes_allocated, 108u);
+  EXPECT_GE(arena.stats().bytes_reserved, arena.stats().bytes_allocated);
+}
+
+TEST(ArenaTest, TriviallyDestructibleCreateCountsAsObject) {
+  Arena arena;
+  arena.create<int>(7);
+  EXPECT_EQ(arena.stats().objects, 1u);
+}
+
+TEST(ArenaHandleTest, BorrowedHandleUsesTheSharedArena) {
+  Arena shared;
+  ArenaHandle handle{&shared};
+  handle.get().create<int>(1);
+  EXPECT_EQ(shared.stats().objects, 1u);
+}
+
+TEST(ArenaHandleTest, UnborrowedHandleOwnsAPrivateHeapArena) {
+  std::vector<int> journal;
+  {
+    ArenaHandle handle;
+    Arena& arena = handle.get();
+    EXPECT_EQ(arena.mode(), Arena::Mode::heap);
+    arena.create<Journaled>(1, journal);
+    EXPECT_EQ(&handle.get(), &arena);
+  }
+  EXPECT_EQ(journal, (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace d2dhb

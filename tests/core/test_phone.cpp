@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 namespace d2dhb::core {
 namespace {
@@ -11,9 +12,13 @@ class PhoneTest : public ::testing::Test {
  protected:
   PhoneTest() : medium_(sim_, nodes_, d2d::WifiDirectMedium::Params{}, Rng{1}) {}
 
+  /// Direct Phone construction wants a non-owning model reference (in a
+  /// Scenario the model lives in the strip arena); the fixture plays
+  /// the arena's role and owns the models for the test's lifetime.
   PhoneConfig config(mobility::Vec2 pos = {0.0, 0.0}) {
+    models_.push_back(std::make_unique<mobility::StaticMobility>(pos));
     PhoneConfig pc;
-    pc.mobility = std::make_unique<mobility::StaticMobility>(pos);
+    pc.mobility_ref = models_.back().get();
     return pc;
   }
 
@@ -21,6 +26,7 @@ class PhoneTest : public ::testing::Test {
   world::NodeTable nodes_;
   d2d::WifiDirectMedium medium_;
   radio::SignalingCounter signaling_;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models_;
 };
 
 TEST_F(PhoneTest, AssemblesAllComponents) {

@@ -113,6 +113,38 @@ TEST(ShardEquivalence, OriginalSchemeIsByteIdentical) {
   EXPECT_EQ(metrics_json(a), metrics_json(b));
 }
 
+// Arena-vs-heap: the SAME seeded crowd with per-object heap agent
+// allocation (the ablation layout) must byte-match the pooled-arena
+// reference — serially and at 2/4 worker threads, full registry
+// export included. Memory layout must never leak into results.
+TEST(ShardEquivalence, HeapAgentLayoutIsByteIdentical) {
+  CrowdConfig pooled = striped_crowd(4242);
+  pooled.shards = 1;
+  pooled.threads = 1;
+  const CrowdMetrics reference = run_d2d_crowd(pooled);
+  const std::string reference_json = metrics_json(reference);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    CrowdConfig heap = striped_crowd(4242);
+    heap.heap_agents = true;
+    heap.threads = threads;
+    const CrowdMetrics arm = run_d2d_crowd(heap);
+    const std::string label =
+        "heap agents @ " + std::to_string(threads) + " threads";
+    EXPECT_EQ(arm.total_l3, reference.total_l3) << label;
+    EXPECT_EQ(arm.sim_events, reference.sim_events) << label;
+    EXPECT_DOUBLE_EQ(arm.total_radio_uah, reference.total_radio_uah)
+        << label;
+    EXPECT_EQ(metrics_json(arm), reference_json) << label;
+    // The layouts really differ: pooled reserves block-granular arena
+    // memory, heap mode reserves exactly what it allocates.
+    EXPECT_EQ(arm.arena_bytes_allocated, arm.arena_bytes_reserved) << label;
+    EXPECT_GT(reference.arena_bytes_reserved,
+              reference.arena_bytes_allocated)
+        << "pooled reference";
+  }
+}
+
 // The executor actually exercises the mailboxes: a crowd spanning four
 // strips pushes every cellular delivery from strips 1..3 through the
 // channel's home kernel, so cross-kernel traffic is guaranteed.

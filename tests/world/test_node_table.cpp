@@ -31,6 +31,7 @@ TEST(NodeTable, RegistersWithDefaultColumns) {
   EXPECT_EQ(table.battery_of(NodeId{5}), 1.0);
   EXPECT_EQ(table.d2d_slot(NodeId{5}), kNoD2dSlot);
   EXPECT_EQ(table.shard_of(NodeId{5}), 0u);
+  EXPECT_EQ(table.agent_slot(NodeId{5}), kNoAgentSlot);
   table.audit();
 }
 
@@ -43,11 +44,13 @@ TEST(NodeTable, ColumnsRoundTrip) {
   table.set_battery(NodeId{1}, 0.25);
   table.set_d2d_slot(NodeId{1}, 0);
   table.set_shard(NodeId{1}, 2);
+  table.set_agent_slot(NodeId{1}, 0);
   EXPECT_EQ(table.cell_of(NodeId{1}), 3u);
   EXPECT_EQ(table.role_of(NodeId{1}), NodeRole::relay);
   EXPECT_EQ(table.battery_of(NodeId{1}), 0.25);
   EXPECT_EQ(table.d2d_slot(NodeId{1}), 0u);
   EXPECT_EQ(table.shard_of(NodeId{1}), 2u);
+  EXPECT_EQ(table.agent_slot(NodeId{1}), 0u);
   table.audit();
 }
 
@@ -94,6 +97,28 @@ TEST(NodeTable, RejectsInvalidAccess) {
   EXPECT_THROW((void)table.mobility_of(NodeId{9}), std::out_of_range);
   EXPECT_THROW(table.set_battery(NodeId{1}, 1.5), std::invalid_argument);
   EXPECT_THROW(table.set_battery(NodeId{1}, -0.1), std::invalid_argument);
+}
+
+TEST(NodeTable, AuditRejectsAgentSlotWithoutRole) {
+  NodeTable table;
+  mobility::StaticMobility still{{0.0, 0.0}};
+  table.add(NodeId{1}, &still);
+  table.set_agent_slot(NodeId{1}, 0);
+  EXPECT_THROW(table.audit(), std::logic_error);
+  table.set_role(NodeId{1}, NodeRole::ue);
+  table.audit();
+}
+
+TEST(NodeTable, RemoveResetsAgentSlot) {
+  NodeTable table;
+  mobility::StaticMobility still{{0.0, 0.0}};
+  table.add(NodeId{3}, &still);
+  table.set_role(NodeId{3}, NodeRole::relay);
+  table.set_agent_slot(NodeId{3}, 7);
+  table.remove(NodeId{3});
+  table.add(NodeId{3}, &still);
+  EXPECT_EQ(table.agent_slot(NodeId{3}), kNoAgentSlot);
+  table.audit();
 }
 
 TEST(NodeTable, AuditRejectsDuplicateD2dSlots) {

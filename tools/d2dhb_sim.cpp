@@ -14,6 +14,10 @@
 //   d2dhb_sim crowd  [--phones N] [--relay-fraction F] [--area M]
 //                    [--duration S] [--mobile] [--policy greedy|random|
 //                    density|first-n] [--seed S] [--seeds N] [--threads T]
+//                    [--city (the city preset, below)]
+//   d2dhb_sim city   [--phones N] [--relay-fraction F] [--duration S]
+//                    [--threads T] [--phones-per-cell N] [--heap-agents]
+//                    [--seed S]
 //   d2dhb_sim baselines [--phones N] [--duration S] [--seed S]
 //   d2dhb_sim traces
 //
@@ -30,6 +34,7 @@
 #include "runner/experiment_runner.hpp"
 #include "runner/sweep_runner.hpp"
 #include "scenario/baselines.hpp"
+#include "scenario/city.hpp"
 #include "scenario/compressed_pair.hpp"
 #include "scenario/crowd.hpp"
 #include "scenario/crowd_cli.hpp"
@@ -42,13 +47,19 @@ using namespace d2dhb::scenario;
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " <pair|crowd|baselines|traces> [flags]\n"
+      << "usage: " << argv0
+      << " <pair|crowd|city|baselines|traces> [flags]\n"
       << "  pair       relay + N UEs, compressed-period methodology\n"
       << "    --ues N --tx K --distance M --bytes B --period S\n"
       << "    --capacity M --lte --seed S\n"
       << "  crowd      clustered crowd, real heartbeat periods\n"
       << crowd_flags_help()
       << "    --seeds N (run N seeds starting at --seed, aggregated)\n"
+      << "    --city (switch to the city preset below)\n"
+      << "  city       city-scale crowd (100k-1M phones, multicell,\n"
+      << "             strip-streamed construction, aggregate metrics)\n"
+      << "    --phones N --relay-fraction F --duration S --threads T\n"
+      << "    --phones-per-cell N --heap-agents --seed S\n"
       << "  baselines  related-work strategy comparison\n"
       << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n"
@@ -128,6 +139,49 @@ int run_pair(CliFlags& flags, const char* argv0) {
   return 0;
 }
 
+/// The city preset: one arm, aggregate counters only (no registry
+/// snapshot — see scenario/city.hpp).
+int run_city_mode(CliFlags& flags, const char* argv0) {
+  CityConfig config;
+  config.phones = static_cast<std::size_t>(
+      flags.number("--phones", static_cast<double>(config.phones)));
+  config.relay_fraction =
+      flags.number("--relay-fraction", config.relay_fraction);
+  config.duration_s = flags.number("--duration", config.duration_s);
+  config.threads = static_cast<std::size_t>(
+      flags.number("--threads", static_cast<double>(config.threads)));
+  config.phones_per_cell = static_cast<std::size_t>(flags.number(
+      "--phones-per-cell", static_cast<double>(config.phones_per_cell)));
+  config.heap_agents = flags.has("--heap-agents");
+  config.seed = static_cast<std::uint64_t>(
+      flags.number("--seed", static_cast<double>(config.seed)));
+  check(flags, argv0);
+
+  const CityMetrics m = run_city_crowd(config);
+  Table table{{"Metric", "Value"}};
+  table.add_row({"Phones / relays", std::to_string(m.phones) + " / " +
+                                        std::to_string(m.relays)});
+  table.add_row({"Cells / strips", std::to_string(m.cells) + " / " +
+                                       std::to_string(m.strips)});
+  table.add_row({"Layer-3 messages", std::to_string(m.total_l3)});
+  table.add_row({"Peak L3 / 10 s", std::to_string(m.peak_l3_per_10s)});
+  table.add_row(
+      {"Heartbeats delivered", std::to_string(m.heartbeats_delivered)});
+  table.add_row({"Forwarded via D2D", std::to_string(m.forwarded_via_d2d)});
+  table.add_row({"Fallbacks", std::to_string(m.fallbacks)});
+  table.add_row({"Sim events", std::to_string(m.sim_events)});
+  table.add_row({"Cross-shard posted",
+                 std::to_string(m.cross_shard_posted)});
+  table.add_row({"Arena bytes (alloc/reserved)",
+                 std::to_string(m.arena_bytes_allocated) + " / " +
+                     std::to_string(m.arena_bytes_reserved)});
+  table.add_row({"Arena objects", std::to_string(m.arena_objects)});
+  table.add_row({"Peak RSS (MB)",
+                 std::to_string(m.peak_rss_bytes / (1024 * 1024))});
+  table.print(std::cout);
+  return 0;
+}
+
 /// Both arms of one crowd run under the same layout seed.
 struct CrowdCell {
   CrowdMetrics d2d;
@@ -135,6 +189,8 @@ struct CrowdCell {
 };
 
 int run_crowd(CliFlags& flags, const char* argv0) {
+  // The city preset rides on the crowd mode as a flag, too.
+  if (flags.has("--city")) return run_city_mode(flags, argv0);
   CrowdConfig config;
   config.phones = 48;
   config.area_m = 100.0;
@@ -320,6 +376,7 @@ int main(int argc, char** argv) {
   CliFlags flags{argc, argv, 2};
   if (mode == "pair") return run_pair(flags, argv[0]);
   if (mode == "crowd") return run_crowd(flags, argv[0]);
+  if (mode == "city") return run_city_mode(flags, argv[0]);
   if (mode == "baselines") return run_baselines(flags, argv[0]);
   if (mode == "traces") return run_traces(flags, argv[0]);
   usage(argv[0]);
