@@ -8,10 +8,11 @@
 //
 // Thread-safety: the global_trace() instance is shared by every
 // simulation in the process, including sweep cells running on worker
-// threads, so the mutating path (record/clear) is mutex-guarded and the
-// enable flag is atomic. The read accessors (events(), count(), the
-// printers) are NOT locked — call them only when no simulation is
-// recording, i.e. after the workers have joined.
+// threads, so every accessor that touches the ring locks `mutex_` and
+// the enable flag is atomic. Readers copy under the lock (events(),
+// for_node()) or hold it for the duration of the dump (the printers);
+// the guarded fields carry D2DHB_GUARDED_BY annotations, so the Clang
+// thread-safety CI leg rejects any unlocked access path.
 #pragma once
 
 #include <atomic>
@@ -19,10 +20,10 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 
 #include "common/id.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace d2dhb {
@@ -55,38 +56,41 @@ class TraceLog {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void record(TimePoint when, TraceCategory category, NodeId node,
-              std::string message);
+              std::string message) D2DHB_EXCLUDES(mutex_);
 
-  const std::deque<TraceEvent>& events() const { return events_; }
+  /// Snapshot of the ring, copied under the lock — safe to call while
+  /// workers are still recording.
+  std::deque<TraceEvent> events() const D2DHB_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
-  std::size_t dropped() const { return dropped_; }
-  void clear();
+  std::size_t dropped() const D2DHB_EXCLUDES(mutex_);
+  void clear() D2DHB_EXCLUDES(mutex_);
 
-  std::size_t count(TraceCategory category) const {
-    return counts_[static_cast<std::size_t>(category)];
-  }
+  std::size_t count(TraceCategory category) const D2DHB_EXCLUDES(mutex_);
   /// Events for one node, in order.
-  std::deque<TraceEvent> for_node(NodeId node) const;
+  std::deque<TraceEvent> for_node(NodeId node) const D2DHB_EXCLUDES(mutex_);
 
-  /// Human-readable dump (optionally only one category).
-  void print(std::ostream& os) const;
-  void print(std::ostream& os, TraceCategory category) const;
+  /// Human-readable dump (optionally only one category). Holds the
+  /// lock for the duration of the dump.
+  void print(std::ostream& os) const D2DHB_EXCLUDES(mutex_);
+  void print(std::ostream& os, TraceCategory category) const
+      D2DHB_EXCLUDES(mutex_);
 
   /// Machine-readable dump: one JSON object per line
   /// ({"t":s,"category":...,"node":...,"message":...}), written with the
   /// same deterministic number/string formatting as the metrics exports
   /// (common/json). A final meta line reports capacity and drops.
-  void write_jsonl(std::ostream& os) const;
+  void write_jsonl(std::ostream& os) const D2DHB_EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{false};
   std::size_t capacity_;
   /// Guards the ring and its counters against concurrent record()/
-  /// clear() from sweep worker threads.
-  std::mutex mutex_;
-  std::deque<TraceEvent> events_;
-  std::size_t counts_[static_cast<std::size_t>(TraceCategory::kCount)]{};
-  std::size_t dropped_{0};
+  /// clear()/readers on sweep worker threads.
+  mutable Mutex mutex_;
+  std::deque<TraceEvent> events_ D2DHB_GUARDED_BY(mutex_);
+  std::size_t counts_[static_cast<std::size_t>(TraceCategory::kCount)]
+      D2DHB_GUARDED_BY(mutex_){};
+  std::size_t dropped_ D2DHB_GUARDED_BY(mutex_){0};
 };
 
 /// Process-wide trace instance the substrates write to. Simulations are

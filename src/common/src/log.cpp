@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace d2dhb {
 
@@ -10,8 +11,11 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::warn};
 
 /// Serializes emission: sweep workers log concurrently, and without the
-/// lock two half-written records could interleave on stderr.
-std::mutex g_emit_mutex;
+/// lock two half-written records could interleave on stderr. The lock
+/// guards the stderr stream (an external resource), not a field, so
+/// there is nothing to D2DHB_GUARDED_BY — emit() below still goes
+/// through the annotated Mutex so lock discipline stays checkable.
+Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -39,7 +43,7 @@ void emit(LogLevel level, const std::string& message) {
   line += "] ";
   line += message;
   line += '\n';
-  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const MutexLock lock(g_emit_mutex);
   std::cerr << line;
 }
 }  // namespace detail

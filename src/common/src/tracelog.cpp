@@ -21,7 +21,7 @@ const char* to_string(TraceCategory category) {
 void TraceLog::record(TimePoint when, TraceCategory category, NodeId node,
                       std::string message) {
   if (!enabled()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (events_.size() >= capacity_) {
     --counts_[static_cast<std::size_t>(events_.front().category)];
     events_.pop_front();
@@ -32,13 +32,29 @@ void TraceLog::record(TimePoint when, TraceCategory category, NodeId node,
 }
 
 void TraceLog::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
   dropped_ = 0;
   for (auto& c : counts_) c = 0;
 }
 
+std::deque<TraceEvent> TraceLog::events() const {
+  const MutexLock lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceLog::dropped() const {
+  const MutexLock lock(mutex_);
+  return dropped_;
+}
+
+std::size_t TraceLog::count(TraceCategory category) const {
+  const MutexLock lock(mutex_);
+  return counts_[static_cast<std::size_t>(category)];
+}
+
 std::deque<TraceEvent> TraceLog::for_node(NodeId node) const {
+  const MutexLock lock(mutex_);
   std::deque<TraceEvent> out;
   for (const auto& e : events_) {
     if (e.node == node) out.push_back(e);
@@ -55,17 +71,20 @@ void print_event(std::ostream& os, const TraceEvent& e) {
 }  // namespace
 
 void TraceLog::print(std::ostream& os) const {
+  const MutexLock lock(mutex_);
   for (const auto& e : events_) print_event(os, e);
   if (dropped_ > 0) os << "  (" << dropped_ << " older events dropped)\n";
 }
 
 void TraceLog::print(std::ostream& os, TraceCategory category) const {
+  const MutexLock lock(mutex_);
   for (const auto& e : events_) {
     if (e.category == category) print_event(os, e);
   }
 }
 
 void TraceLog::write_jsonl(std::ostream& os) const {
+  const MutexLock lock(mutex_);
   for (const auto& e : events_) {
     os << "{\"t\":" << json::number(to_seconds(e.when))
        << ",\"category\":\"" << to_string(e.category) << "\",\"node\":"

@@ -5,10 +5,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/id.hpp"
+#include "common/thread_annotations.hpp"
 #include "metrics/registry.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,23 +31,24 @@ class IncentiveLedger {
   /// Binds the ledger to the world's executor so concurrent credits land
   /// in per-kernel subtotals. Without it the ledger runs with a single
   /// lane — correct for any single-kernel world.
-  void attach(const sim::Simulator& sim);
+  void attach(const sim::Simulator& sim) D2DHB_EXCLUDES(mutex_);
 
   /// Credits `relay` for delivering `heartbeats` forwarded messages.
   /// Thread-safe; the issued total accumulates per executing kernel and
   /// is summed in kernel order, so the floating-point result is the same
   /// for every executor thread count (and matches the classic serial
   /// accumulation when the world has one kernel).
-  void credit(NodeId relay, std::uint64_t heartbeats);
+  void credit(NodeId relay, std::uint64_t heartbeats)
+      D2DHB_EXCLUDES(mutex_);
 
-  double balance(NodeId relay) const;
-  double redeemable_usd(NodeId relay) const;
-  double redeemable_mb(NodeId relay) const;
+  double balance(NodeId relay) const D2DHB_EXCLUDES(mutex_);
+  double redeemable_usd(NodeId relay) const D2DHB_EXCLUDES(mutex_);
+  double redeemable_mb(NodeId relay) const D2DHB_EXCLUDES(mutex_);
 
   /// Deducts up to `credits`; returns the amount actually redeemed.
-  double redeem(NodeId relay, double credits);
+  double redeem(NodeId relay, double credits) D2DHB_EXCLUDES(mutex_);
 
-  double total_issued() const;
+  double total_issued() const D2DHB_EXCLUDES(mutex_);
   const Tariff& tariff() const { return tariff_; }
 
   /// Exposes the ledger through a registry (the owning Scenario binds it
@@ -57,11 +58,11 @@ class IncentiveLedger {
  private:
   Tariff tariff_;
   const sim::Simulator* sim_{nullptr};
-  mutable std::mutex mutex_;
-  std::map<NodeId, double> balances_;
+  mutable Mutex mutex_;
+  std::map<NodeId, double> balances_ D2DHB_GUARDED_BY(mutex_);
   /// One subtotal per kernel; lane k only ever accumulates credits
   /// issued while kernel k executes, in that kernel's event order.
-  std::vector<double> issued_lanes_{0.0};
+  std::vector<double> issued_lanes_ D2DHB_GUARDED_BY(mutex_){0.0};
 };
 
 }  // namespace d2dhb::core

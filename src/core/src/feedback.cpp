@@ -17,8 +17,8 @@ FeedbackTracker::FeedbackTracker(sim::Simulator& sim, Duration timeout,
 }
 
 FeedbackTracker::~FeedbackTracker() {
-  // detlint: allow(unordered-iter): cancel() only disarms slots — it
-  // never mutates the free list — so cancellation order is invisible.
+  // cancel() only disarms slots — it never mutates the free list — so
+  // cancellation order is invisible.
   for (auto& [id, entry] : pending_) sim_.cancel(entry.timeout_event);
 }
 
@@ -49,8 +49,8 @@ void FeedbackTracker::acknowledge(const std::vector<MessageId>& delivered) {
 void FeedbackTracker::fail_all_pending() {
   std::vector<net::HeartbeatMessage> victims;
   victims.reserve(pending_.size());
-  // detlint: allow(unordered-iter): victims are sorted by MessageId
-  // below before any sim-visible callback fires.
+  // Victims are sorted by MessageId below before any sim-visible
+  // callback fires.
   for (auto& [id, entry] : pending_) {
     sim_.cancel(entry.timeout_event);
     victims.push_back(std::move(entry.message));

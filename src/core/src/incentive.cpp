@@ -9,6 +9,9 @@ IncentiveLedger::IncentiveLedger(Tariff tariff) : tariff_(tariff) {}
 
 void IncentiveLedger::attach(const sim::Simulator& sim) {
   sim_ = &sim;
+  // Setup-time call, but issued_lanes_ is lock-guarded state: take the
+  // mutex anyway so every write path is uniform under the analysis.
+  const MutexLock lock(mutex_);
   issued_lanes_.assign(sim.shard_count(), 0.0);
 }
 
@@ -16,13 +19,13 @@ void IncentiveLedger::credit(NodeId relay, std::uint64_t heartbeats) {
   const double credits =
       tariff_.credits_per_heartbeat * static_cast<double>(heartbeats);
   const std::size_t lane = sim_ == nullptr ? 0 : sim_->current_shard();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   balances_[relay] += credits;
   issued_lanes_[lane] += credits;
 }
 
 double IncentiveLedger::balance(NodeId relay) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = balances_.find(relay);
   return it == balances_.end() ? 0.0 : it->second;
 }
@@ -36,7 +39,7 @@ double IncentiveLedger::redeemable_mb(NodeId relay) const {
 }
 
 double IncentiveLedger::total_issued() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   // Lane order, not arrival order: the sum is reproducible no matter how
   // the executor interleaved the lanes' credits in real time.
   double total = 0.0;
@@ -50,7 +53,7 @@ void IncentiveLedger::bind_metrics(metrics::MetricsRegistry& registry) {
 }
 
 double IncentiveLedger::redeem(NodeId relay, double credits) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = balances_.find(relay);
   if (it == balances_.end()) return 0.0;
   const double redeemed = std::min(credits, it->second);

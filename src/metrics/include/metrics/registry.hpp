@@ -29,6 +29,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace d2dhb::metrics {
@@ -206,23 +207,33 @@ class MetricsRegistry {
   /// (name, labels) returns the same object, so substrates recreated
   /// within one world keep accumulating into one series. Registering an
   /// existing key as a different kind throws std::logic_error.
-  Counter& counter(std::string name, Labels labels = {});
-  Gauge& gauge(std::string name, Labels labels = {});
+  ///
+  /// The returned reference is stable (std::map never relocates) and is
+  /// used lock-free afterwards: Counters are relaxed atomics, the other
+  /// kinds are only touched from their owning kernel's strip. The lock
+  /// guards the map itself — concurrent registration from different
+  /// strips stays safe.
+  Counter& counter(std::string name, Labels labels = {})
+      D2DHB_EXCLUDES(mutex_);
+  Gauge& gauge(std::string name, Labels labels = {}) D2DHB_EXCLUDES(mutex_);
   /// Callback-backed gauge, evaluated at snapshot time. Re-registering
   /// replaces the callback (so a recreated object rebinds cleanly).
-  Gauge& gauge_fn(std::string name, Labels labels,
-                  std::function<double()> fn);
+  Gauge& gauge_fn(std::string name, Labels labels, std::function<double()> fn)
+      D2DHB_EXCLUDES(mutex_);
   Histogram& histogram(std::string name, std::vector<double> bounds,
-                       Labels labels = {});
-  Sampler& sampler(std::string name, Labels labels = {});
+                       Labels labels = {}) D2DHB_EXCLUDES(mutex_);
+  Sampler& sampler(std::string name, Labels labels = {})
+      D2DHB_EXCLUDES(mutex_);
 
-  /// Master switch for time-series samplers (off by default).
+  /// Master switch for time-series samplers (off by default). Flip only
+  /// while the world is quiescent: samplers read the flag through a raw
+  /// pointer on the hot path, deliberately outside the lock.
   void set_sampling_enabled(bool on) { sampling_enabled_ = on; }
   bool sampling_enabled() const { return sampling_enabled_; }
 
-  std::size_t size() const { return metrics_.size(); }
+  std::size_t size() const D2DHB_EXCLUDES(mutex_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const D2DHB_EXCLUDES(mutex_);
 
  private:
   using Key = std::tuple<std::string, std::uint64_t, std::int64_t,
@@ -233,9 +244,11 @@ class MetricsRegistry {
     return Key{std::move(name), labels.node, labels.cell, labels.component};
   }
   template <typename T>
-  T& find_or_insert(std::string name, const Labels& labels, T prototype);
+  T& find_or_insert(std::string name, const Labels& labels, T prototype)
+      D2DHB_REQUIRES(mutex_);
 
-  std::map<Key, Metric> metrics_;
+  mutable Mutex mutex_;
+  std::map<Key, Metric> metrics_ D2DHB_GUARDED_BY(mutex_);
   bool sampling_enabled_{false};
 };
 

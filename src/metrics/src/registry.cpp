@@ -45,15 +45,18 @@ T& MetricsRegistry::find_or_insert(std::string name, const Labels& labels,
 }
 
 Counter& MetricsRegistry::counter(std::string name, Labels labels) {
+  const MutexLock lock(mutex_);
   return find_or_insert(std::move(name), labels, Counter{});
 }
 
 Gauge& MetricsRegistry::gauge(std::string name, Labels labels) {
+  const MutexLock lock(mutex_);
   return find_or_insert(std::move(name), labels, Gauge{});
 }
 
 Gauge& MetricsRegistry::gauge_fn(std::string name, Labels labels,
                                  std::function<double()> fn) {
+  const MutexLock lock(mutex_);
   Gauge& g = find_or_insert(std::move(name), labels, Gauge{});
   g.fn_ = std::move(fn);
   return g;
@@ -62,16 +65,24 @@ Gauge& MetricsRegistry::gauge_fn(std::string name, Labels labels,
 Histogram& MetricsRegistry::histogram(std::string name,
                                       std::vector<double> bounds,
                                       Labels labels) {
+  const MutexLock lock(mutex_);
   return find_or_insert(std::move(name), labels,
                         Histogram{std::move(bounds)});
 }
 
 Sampler& MetricsRegistry::sampler(std::string name, Labels labels) {
+  const MutexLock lock(mutex_);
   return find_or_insert(std::move(name), labels,
                         Sampler{&sampling_enabled_});
 }
 
+std::size_t MetricsRegistry::size() const {
+  const MutexLock lock(mutex_);
+  return metrics_.size();
+}
+
 Snapshot MetricsRegistry::snapshot() const {
+  const MutexLock lock(mutex_);
   Snapshot snap;
   snap.entries.reserve(metrics_.size());
   for (const auto& [key, metric] : metrics_) {

@@ -315,8 +315,8 @@ void SpatialGrid::audit(TimePoint t, std::uint64_t epoch) const {
   // Order-insensitive total: a node binned into a *wrong* bucket shows
   // up here as an excess entry even though its own-bucket check passed.
   std::size_t binned = 0;
-  // detlint: allow(unordered-iter): audit-only commutative sum — the
-  // result is independent of bucket iteration order.
+  // Audit-only commutative sum — the result is independent of bucket
+  // iteration order.
   for (const auto& [cell, bucket] : buckets_) binned += bucket.size();
   if (binned != active_) {
     grid_audit_fail("bucket membership total " + std::to_string(binned) +

@@ -7,11 +7,11 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/id.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace d2dhb::radio {
@@ -49,33 +49,36 @@ class SignalingCounter {
   /// kernels, so recording locks internally. Aggregates (total, counts,
   /// peak_rate) are insertion-order independent, which keeps them
   /// byte-identical across executor thread counts.
-  void record(TimePoint when, NodeId node, L3MessageType type);
+  void record(TimePoint when, NodeId node, L3MessageType type)
+      D2DHB_EXCLUDES(mutex_);
   void record_sequence(TimePoint when, NodeId node,
-                       const std::vector<L3MessageType>& sequence);
+                       const std::vector<L3MessageType>& sequence)
+      D2DHB_EXCLUDES(mutex_);
 
-  std::uint64_t total() const;
-  std::uint64_t count_for(NodeId node) const;
-  std::uint64_t count_of(L3MessageType type) const;
+  std::uint64_t total() const D2DHB_EXCLUDES(mutex_);
+  std::uint64_t count_for(NodeId node) const D2DHB_EXCLUDES(mutex_);
+  std::uint64_t count_of(L3MessageType type) const D2DHB_EXCLUDES(mutex_);
 
   /// Peak number of L3 messages inside any sliding window of `window`
   /// length — a proxy for instantaneous control-channel load (the
   /// quantity that overloads during a signaling storm). Sorts a copy by
   /// timestamp, so the answer does not depend on insertion order.
-  std::uint64_t peak_rate(Duration window) const;
+  std::uint64_t peak_rate(Duration window) const D2DHB_EXCLUDES(mutex_);
 
-  /// Raw records in insertion order. Only meaningful once the run has
-  /// finished (single-threaded analysis/export paths).
-  const std::vector<Record>& records() const { return records_; }
-  void clear();
+  /// Raw records in insertion order, copied under the lock — safe even
+  /// while phones on other kernels are still recording.
+  std::vector<Record> records() const D2DHB_EXCLUDES(mutex_);
+  void clear() D2DHB_EXCLUDES(mutex_);
 
  private:
-  void append(TimePoint when, NodeId node, L3MessageType type);
+  void append(TimePoint when, NodeId node, L3MessageType type)
+      D2DHB_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Record> records_;
-  std::map<NodeId, std::uint64_t> per_node_;
+  mutable Mutex mutex_;
+  std::vector<Record> records_ D2DHB_GUARDED_BY(mutex_);
+  std::map<NodeId, std::uint64_t> per_node_ D2DHB_GUARDED_BY(mutex_);
   std::array<std::uint64_t, static_cast<std::size_t>(L3MessageType::kCount)>
-      per_type_{};
+      per_type_ D2DHB_GUARDED_BY(mutex_){};
 };
 
 }  // namespace d2dhb::radio

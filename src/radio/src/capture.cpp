@@ -45,9 +45,12 @@ void print_capture(std::ostream& os, const SignalingCounter& counter,
   os << "  ---------  ---  ----  -----------------------------------  "
         "----\n";
   std::size_t printed = 0;
-  for (const auto& record : counter.records()) {
+  // One snapshot for both the rows and the "more" tally — records() now
+  // copies under the counter's lock.
+  const auto records = counter.records();
+  for (const auto& record : records) {
     if (limit != 0 && printed >= limit) {
-      os << "  ... (" << counter.records().size() - printed
+      os << "  ... (" << records.size() - printed
          << " more)\n";
       break;
     }

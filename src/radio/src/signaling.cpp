@@ -45,29 +45,29 @@ void SignalingCounter::append(TimePoint when, NodeId node,
 
 void SignalingCounter::record(TimePoint when, NodeId node,
                               L3MessageType type) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   append(when, node, type);
 }
 
 void SignalingCounter::record_sequence(
     TimePoint when, NodeId node, const std::vector<L3MessageType>& sequence) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto type : sequence) append(when, node, type);
 }
 
 std::uint64_t SignalingCounter::total() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return records_.size();
 }
 
 std::uint64_t SignalingCounter::count_for(NodeId node) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = per_node_.find(node);
   return it == per_node_.end() ? 0 : it->second;
 }
 
 std::uint64_t SignalingCounter::count_of(L3MessageType type) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return per_type_[static_cast<std::size_t>(type)];
 }
 
@@ -77,7 +77,7 @@ std::uint64_t SignalingCounter::peak_rate(Duration window) const {
   // then a pure function of the record multiset.
   std::vector<Record> sorted;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     sorted = records_;
   }
   std::sort(sorted.begin(), sorted.end(),
@@ -91,8 +91,13 @@ std::uint64_t SignalingCounter::peak_rate(Duration window) const {
   return peak;
 }
 
+std::vector<SignalingCounter::Record> SignalingCounter::records() const {
+  const MutexLock lock(mutex_);
+  return records_;
+}
+
 void SignalingCounter::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   records_.clear();
   per_node_.clear();
   per_type_.fill(0);

@@ -126,6 +126,8 @@ class Scenario {
   /// strip, the model's own constructor arguments follow.
   template <typename M, typename... Args>
   const M& emplace_mobility(mobility::Vec2 at, Args&&... args) {
+    // detlint: allow(arena-escape): sanctioned factory — the borrow is
+    // handed to the caller on the strip that owns `at`, same lifetime.
     return arenas_[shard_plan_.shard_for(at)]->create<M>(
         std::forward<Args>(args)...);
   }

@@ -22,14 +22,16 @@
 // Thread safety: every operation locks an internal mutex, so any worker
 // may post while the destination's owner drains. Draining extracts the
 // deliverable prefix under the lock but schedules into the kernel
-// outside it — kernels are single-owner and never locked.
+// outside it — kernels are single-owner and never locked. The guarded
+// fields carry D2DHB_GUARDED_BY annotations so the Clang thread-safety
+// CI leg verifies the discipline.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "sim/event_kernel.hpp"
 
@@ -55,43 +57,44 @@ class ShardMailbox {
   /// std::logic_error if `when` is below the horizon (the destination
   /// has already synchronized past it).
   Ticket post(TimePoint when, std::uint64_t seq, std::uint32_t from_shard,
-              Callback fn);
+              Callback fn) D2DHB_EXCLUDES(mutex_);
 
   /// Cancels an undelivered envelope. Returns whether it was still
   /// pending (false after delivery or double-cancel).
-  bool cancel(Ticket ticket);
+  bool cancel(Ticket ticket) D2DHB_EXCLUDES(mutex_);
 
   /// Delivers every pending envelope into `kernel` (ascending
   /// (when, seq) order), keeping original sequence numbers. The eager
   /// path of the single-threaded executor. Returns envelopes delivered.
-  std::size_t drain_into(EventKernel& kernel);
+  std::size_t drain_into(EventKernel& kernel) D2DHB_EXCLUDES(mutex_);
 
   /// Windowed delivery: delivers envelopes with when < `new_horizon`
   /// and advances the horizon. An envelope exactly at the boundary
   /// stays queued for the next window. Throws std::logic_error if the
   /// horizon would move backwards. Returns envelopes delivered.
-  std::size_t drain_window(EventKernel& kernel, TimePoint new_horizon);
+  std::size_t drain_window(EventKernel& kernel, TimePoint new_horizon)
+      D2DHB_EXCLUDES(mutex_);
 
   /// Everything with when < horizon() has been handed over.
-  TimePoint horizon() const;
+  TimePoint horizon() const D2DHB_EXCLUDES(mutex_);
 
   /// The earliest pending envelope's time, or nullopt when empty — the
   /// executor's skip-ahead probe for choosing the next window target.
-  std::optional<TimePoint> next_when() const;
+  std::optional<TimePoint> next_when() const D2DHB_EXCLUDES(mutex_);
 
-  std::size_t pending() const;
-  std::uint64_t posted() const;
-  std::uint64_t delivered() const;
-  std::uint64_t cancelled() const;
+  std::size_t pending() const D2DHB_EXCLUDES(mutex_);
+  std::uint64_t posted() const D2DHB_EXCLUDES(mutex_);
+  std::uint64_t delivered() const D2DHB_EXCLUDES(mutex_);
+  std::uint64_t cancelled() const D2DHB_EXCLUDES(mutex_);
 
   /// Invariant audit (runs under Simulator::audit()): envelopes sorted
   /// strictly by (when, seq), none below the horizon, callbacks
   /// present, and posted == delivered + cancelled + pending.
-  void audit() const;
+  void audit() const D2DHB_EXCLUDES(mutex_);
 
   /// Test-only: swaps the first two envelopes so audit() trips the
   /// ordering invariant. Never call outside tests.
-  void debug_corrupt_order();
+  void debug_corrupt_order() D2DHB_EXCLUDES(mutex_);
 
  private:
   struct Envelope {
@@ -104,20 +107,21 @@ class ShardMailbox {
 
   /// Removes the first `count` envelopes under the caller's lock and
   /// returns them for out-of-lock delivery.
-  std::vector<Envelope> take_prefix(std::size_t count);
+  std::vector<Envelope> take_prefix(std::size_t count)
+      D2DHB_REQUIRES(mutex_);
   static std::size_t deliver(EventKernel& kernel,
                              std::vector<Envelope> envelopes);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::uint32_t to_shard_;
   /// Sorted ascending by (when, seq); seqs are globally unique so the
   /// order is total and insertion-order independent.
-  std::vector<Envelope> box_;
-  TimePoint horizon_{};
-  std::uint64_t next_ticket_{1};
-  std::uint64_t posted_{0};
-  std::uint64_t delivered_{0};
-  std::uint64_t cancelled_{0};
+  std::vector<Envelope> box_ D2DHB_GUARDED_BY(mutex_);
+  TimePoint horizon_ D2DHB_GUARDED_BY(mutex_){};
+  std::uint64_t next_ticket_ D2DHB_GUARDED_BY(mutex_){1};
+  std::uint64_t posted_ D2DHB_GUARDED_BY(mutex_){0};
+  std::uint64_t delivered_ D2DHB_GUARDED_BY(mutex_){0};
+  std::uint64_t cancelled_ D2DHB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace d2dhb::sim

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/memory.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace d2dhb::sim {
 
@@ -46,9 +46,9 @@ class WorkerPool {
     dispatch(Phase::execute, target);
   }
 
-  void shutdown() {
+  void shutdown() D2DHB_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (stop_) return;
       stop_ = true;
       cv_.notify_all();
@@ -61,30 +61,36 @@ class WorkerPool {
  private:
   enum class Phase { drain, execute };
 
-  void dispatch(Phase phase, TimePoint target) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void dispatch(Phase phase, TimePoint target) D2DHB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     phase_ = phase;
     target_ = target;
     done_ = 0;
     ++round_;
     cv_.notify_all();
-    cv_.wait(lock, [this] { return done_ == workers_; });
+    // Explicit wait loop (not the predicate overload): the lambda would
+    // read `done_` from a context where the analysis cannot see the
+    // lock, whereas here the wait re-establishes the capability on
+    // every wakeup (condition_variable_any drops and reacquires via the
+    // MutexLock's annotated unlock()/lock()).
+    while (done_ != workers_) cv_.wait(lock);
     if (error_) {
       const std::exception_ptr error = error_;
+      error_ = nullptr;
       lock.unlock();
       shutdown();
       std::rethrow_exception(error);
     }
   }
 
-  void worker_main(std::size_t index) {
+  void worker_main(std::size_t index) D2DHB_EXCLUDES(mutex_) {
     std::uint64_t seen = 0;
     for (;;) {
       TimePoint target;
       Phase phase;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        MutexLock lock(mutex_);
+        while (!stop_ && round_ == seen) cv_.wait(lock);
         if (stop_) return;
         seen = round_;
         target = target_;
@@ -104,11 +110,11 @@ class WorkerPool {
           }
         }
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (++done_ == workers_) cv_.notify_all();
       }
     }
@@ -117,14 +123,16 @@ class WorkerPool {
   Simulator& sim_;
   std::size_t workers_;
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t round_{0};
-  Phase phase_{Phase::drain};
-  TimePoint target_{};
-  std::size_t done_{0};
-  bool stop_{false};
-  std::exception_ptr error_;
+  Mutex mutex_;
+  /// _any variant: it waits on any BasicLockable, which lets it take
+  /// the annotated MutexLock instead of a bare std::unique_lock.
+  std::condition_variable_any cv_;
+  std::uint64_t round_ D2DHB_GUARDED_BY(mutex_){0};
+  Phase phase_ D2DHB_GUARDED_BY(mutex_){Phase::drain};
+  TimePoint target_ D2DHB_GUARDED_BY(mutex_){};
+  std::size_t done_ D2DHB_GUARDED_BY(mutex_){0};
+  bool stop_ D2DHB_GUARDED_BY(mutex_){false};
+  std::exception_ptr error_ D2DHB_GUARDED_BY(mutex_);
 };
 
 /// The earliest pending activity — a kernel head or an undelivered

@@ -22,7 +22,7 @@ ShardMailbox::Ticket ShardMailbox::post(TimePoint when, std::uint64_t seq,
   if (!fn) {
     throw std::invalid_argument("ShardMailbox::post: empty callback");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (when < horizon_) {
     throw std::logic_error(
         "ShardMailbox::post: event below the synchronization horizon "
@@ -44,7 +44,7 @@ ShardMailbox::Ticket ShardMailbox::post(TimePoint when, std::uint64_t seq,
 
 bool ShardMailbox::cancel(Ticket ticket) {
   if (!ticket.valid()) return false;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it =
       std::find_if(box_.begin(), box_.end(), [&](const Envelope& e) {
         return e.ticket == ticket.value;
@@ -77,7 +77,7 @@ std::size_t ShardMailbox::deliver(EventKernel& kernel,
 std::size_t ShardMailbox::drain_into(EventKernel& kernel) {
   std::vector<Envelope> taken;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     taken = take_prefix(box_.size());
   }
   return deliver(kernel, std::move(taken));
@@ -87,7 +87,7 @@ std::size_t ShardMailbox::drain_window(EventKernel& kernel,
                                        TimePoint new_horizon) {
   std::vector<Envelope> taken;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (new_horizon < horizon_) {
       throw std::logic_error(
           "ShardMailbox::drain_window: horizon may not move backwards");
@@ -106,38 +106,38 @@ std::size_t ShardMailbox::drain_window(EventKernel& kernel,
 }
 
 TimePoint ShardMailbox::horizon() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return horizon_;
 }
 
 std::optional<TimePoint> ShardMailbox::next_when() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (box_.empty()) return std::nullopt;
   return box_.front().when;
 }
 
 std::size_t ShardMailbox::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return box_.size();
 }
 
 std::uint64_t ShardMailbox::posted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return posted_;
 }
 
 std::uint64_t ShardMailbox::delivered() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return delivered_;
 }
 
 std::uint64_t ShardMailbox::cancelled() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return cancelled_;
 }
 
 void ShardMailbox::debug_corrupt_order() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (box_.size() >= 2) std::swap(box_[0], box_[1]);
 }
 
@@ -148,7 +148,7 @@ namespace {
 }  // namespace
 
 void ShardMailbox::audit() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (std::size_t i = 0; i < box_.size(); ++i) {
     const Envelope& e = box_[i];
     if (!e.fn) {

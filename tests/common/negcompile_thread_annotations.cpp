@@ -1,0 +1,50 @@
+// Negative-compile probe for the thread-safety annotation layer.
+//
+// Compiled twice by ctest under Clang with -Werror=thread-safety (see
+// tests/CMakeLists.txt):
+//   - as-is: must compile clean, proving the macros expand to valid
+//     attributes and the lock/guard idioms used across the tree pass
+//     the analysis;
+//   - with -DNEGCOMPILE_VIOLATE: drops the D2DHB_REQUIRES below, so
+//     add() writes a guarded field without declaring the capability —
+//     the analysis MUST reject this (WILL_FAIL), proving the CI leg
+//     actually has teeth and is not silently annotating into the void.
+//
+// GCC has no thread-safety analysis; the ctest entries are gated on
+// the Clang compiler id, so this file is never built elsewhere.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) D2DHB_EXCLUDES(mutex_) {
+    const d2dhb::MutexLock lock(mutex_);
+    add(amount);
+  }
+
+  int balance() const D2DHB_EXCLUDES(mutex_) {
+    const d2dhb::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  void add(int amount)
+#ifndef NEGCOMPILE_VIOLATE
+      D2DHB_REQUIRES(mutex_)
+#endif
+  {
+    balance_ += amount;
+  }
+
+  mutable d2dhb::Mutex mutex_;
+  int balance_ D2DHB_GUARDED_BY(mutex_){0};
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

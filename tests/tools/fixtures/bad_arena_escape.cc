@@ -1,0 +1,18 @@
+// Fixture: known-bad — arena borrows escaping their strip scope. The
+// static-cached create<> and the returned adopt() must fire; the two
+// plain local borrows in fine() are negatives and must stay clean.
+struct Arena;
+struct Foo;
+Foo& leak_static(Arena& arena) {
+  static Foo& cached = arena.create<Foo>(1);
+  return cached;
+}
+Foo* leak_return(Arena* arena) {
+  return &arena->adopt(nullptr);
+}
+void fine(Arena& arena) {
+  Foo& local = arena.create<Foo>(2);
+  Foo& adopted = arena.adopt(nullptr);
+  (void)local;
+  (void)adopted;
+}

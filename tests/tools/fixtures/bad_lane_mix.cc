@@ -1,0 +1,15 @@
+// Fixture: known-bad — lanes used from the wrong strip. Hard-coded
+// lane subscripts, a literal lane() fetch, and a set_seq_lane call
+// must fire; the shard-indexed uses in fine() are negatives and must
+// stay clean.
+struct Kernel;
+void probe(Kernel& kernel, int* lanes_, int* message_lanes) {
+  lanes_[0] = 1;
+  message_lanes[3] = 2;
+  kernel.set_seq_lane(0, 4);
+  kernel.lane(2);
+}
+void fine(Kernel& kernel, int* lanes_, int shard) {
+  lanes_[shard] = 1;
+  kernel.lane(shard);
+}

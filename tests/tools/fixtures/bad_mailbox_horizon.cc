@@ -1,0 +1,18 @@
+// Fixture: known-bad — horizon-contract violations. Off-barrier
+// drains, a zero-slack post_to(now()), and zero-delay post_afters must
+// fire; the slack-carrying posts in fine() are negatives and must stay
+// clean.
+struct Sim;
+struct Box;
+struct Kernel;
+void probe(Sim& sim, Box& box, Kernel& kernel) {
+  box.drain_into(kernel);
+  box.drain_window(kernel, 0);
+  sim.post_to(1, sim.now(), nullptr);
+  sim.post_after(2, Duration::zero(), nullptr);
+  sim.post_after(2, milliseconds(0), nullptr);
+}
+void fine(Sim& sim, int delay) {
+  sim.post_to(1, sim.now() + delay, nullptr);
+  sim.post_after(1, delay, nullptr);
+}

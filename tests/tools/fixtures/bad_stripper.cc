@@ -1,0 +1,10 @@
+// Fixture: stripper correctness. Hazard tokens inside the raw string
+// literals and the backslash-continued comment must NOT fire
+// (fabrication), and the srand after the quote-bearing raw string must
+// still fire (masking) — as must the plain rand() at the end.
+const char* fabricate1 = R"(rand() srand(1) steady_clock)";
+const char* fabricate2 = R"delim(unbalanced " quote " mt19937)delim";
+int masked = (R"(")", srand(7));
+// a continued comment \
+int fabricated = rand();
+int real = rand();

@@ -47,7 +47,8 @@ TEST(DetlintRules, TableListsEveryDocumentedRule) {
   for (const char* expected :
        {"unordered-iter", "unordered-state", "wall-clock", "libc-rand",
         "random-device", "std-rng", "ptr-key", "float-accum",
-        "allow-no-reason"}) {
+        "allow-no-reason", "cross-strip-access", "arena-escape",
+        "mailbox-horizon", "lane-mix"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << "missing rule id: " << expected;
   }
@@ -84,6 +85,71 @@ TEST(DetlintFixtures, PointerKeyFixtureFiresExactRules) {
   const std::vector<std::pair<std::size_t, std::string>> expected = {
       {9, "ptr-key"},
       {10, "ptr-key"},
+  };
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(DetlintFixtures, CrossStripFixtureFiresExactRules) {
+  // Positives: member kernel()/mailbox() calls and the scheduling-shard
+  // override. Negatives (pinned by their absence): the free-function
+  // declarations on lines 11-12 and the ::-qualified definition on 14.
+  const auto findings = scan_file(fixture("bad_cross_strip.cc"));
+  const std::vector<std::pair<std::size_t, std::string>> expected = {
+      {7, "cross-strip-access"},
+      {8, "cross-strip-access"},
+      {9, "cross-strip-access"},
+  };
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(DetlintFixtures, ArenaEscapeFixtureFiresExactRules) {
+  // Positives: static-cached create<> and returned adopt(). Negatives:
+  // the two local borrows in fine() (lines 14-15).
+  const auto findings = scan_file(fixture("bad_arena_escape.cc"));
+  const std::vector<std::pair<std::size_t, std::string>> expected = {
+      {7, "arena-escape"},
+      {11, "arena-escape"},
+  };
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(DetlintFixtures, MailboxHorizonFixtureFiresExactRules) {
+  // Positives: both drain shapes, a zero-slack post_to(now()), and two
+  // zero-delay post_after spellings. Negatives: the slack-carrying
+  // post_to(now() + delay) and variable-delay post_after (lines 16-17).
+  const auto findings = scan_file(fixture("bad_mailbox_horizon.cc"));
+  const std::vector<std::pair<std::size_t, std::string>> expected = {
+      {9, "mailbox-horizon"},
+      {10, "mailbox-horizon"},
+      {11, "mailbox-horizon"},
+      {12, "mailbox-horizon"},
+      {13, "mailbox-horizon"},
+  };
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(DetlintFixtures, LaneMixFixtureFiresExactRules) {
+  // Positives: two hard-coded lane subscripts, a set_seq_lane call,
+  // and a literal lane() fetch. Negatives: the shard-indexed subscript
+  // and lane(shard) fetch in fine() (lines 13-14).
+  const auto findings = scan_file(fixture("bad_lane_mix.cc"));
+  const std::vector<std::pair<std::size_t, std::string>> expected = {
+      {7, "lane-mix"},
+      {8, "lane-mix"},
+      {9, "lane-mix"},
+      {10, "lane-mix"},
+  };
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(DetlintFixtures, StripperHandlesRawStringsAndContinuedComments) {
+  // Raw-string contents and a backslash-continued comment must neither
+  // fabricate findings (lines 5, 6, 9) nor mask the real calls that
+  // follow them (lines 7 and 10).
+  const auto findings = scan_file(fixture("bad_stripper.cc"));
+  const std::vector<std::pair<std::size_t, std::string>> expected = {
+      {7, "libc-rand"},
+      {10, "libc-rand"},
   };
   EXPECT_EQ(line_rules(findings), expected);
 }
@@ -150,7 +216,8 @@ TEST(DetlintScan, ScanPathsWalksFixtureDirDeterministically) {
 
 TEST(DetlintAllowlist, EntryExemptsMatchingFileAndRuleOnly) {
   Options options;
-  options.allowlist.push_back(AllowEntry{"wall-clock", "*bad_clock_rand.cc"});
+  options.allowlist.push_back(
+      AllowEntry{"wall-clock", "*bad_clock_rand.cc", "", 0});
   const auto findings = scan_file(fixture("bad_clock_rand.cc"), options);
   for (const Finding& f : findings) {
     EXPECT_NE(f.rule, "wall-clock") << f.to_string();
@@ -164,7 +231,7 @@ TEST(DetlintAllowlist, EntryExemptsMatchingFileAndRuleOnly) {
 
 TEST(DetlintAllowlist, StarRuleExemptsWholeFile) {
   Options options;
-  options.allowlist.push_back(AllowEntry{"*", "*bad_ptr_key.cc"});
+  options.allowlist.push_back(AllowEntry{"*", "*bad_ptr_key.cc", "", 0});
   EXPECT_TRUE(scan_file(fixture("bad_ptr_key.cc"), options).empty());
 }
 
@@ -189,6 +256,66 @@ TEST(DetlintAllowlist, LoadParsesFileAndRejectsUnknownRules) {
   EXPECT_THROW(load_allowlist(bad), std::runtime_error);
   EXPECT_THROW(load_allowlist(dir / "does_not_exist.txt"),
                std::runtime_error);
+}
+
+TEST(DetlintPrune, StaleInlineAllowIsReportedUsedOneIsNot) {
+  const std::string source =
+      "#include <unordered_set>\n"
+      "// detlint: allow(unordered-state): probes only, never iterated.\n"
+      "std::unordered_set<int> seen;\n"
+      "// detlint: allow(wall-clock): justification for nothing.\n"
+      "int x = 0;\n";
+  d2dhb::detlint::Usage usage;
+  const auto findings = scan_source("probe.cpp", source, {}, &usage);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(usage.stale_inline.size(), 1u);
+  EXPECT_EQ(usage.stale_inline[0].file, "probe.cpp");
+  EXPECT_EQ(usage.stale_inline[0].line, 4u);
+  EXPECT_EQ(usage.stale_inline[0].rule, "wall-clock");
+}
+
+TEST(DetlintPrune, StaleAllowlistEntryIsReportedUsedOneIsNot) {
+  Options options;
+  options.allowlist.push_back(
+      AllowEntry{"ptr-key", "*bad_ptr_key.cc", "allow.txt", 1});
+  options.allowlist.push_back(
+      AllowEntry{"wall-clock", "*no_such_file.cc", "allow.txt", 2});
+  d2dhb::detlint::Usage usage;
+  const auto findings = scan_file(fixture("bad_ptr_key.cc"), options, &usage);
+  EXPECT_TRUE(findings.empty());
+  const auto stale = usage.stale(options);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "allow.txt");
+  EXPECT_EQ(stale[0].line, 2u);
+  EXPECT_EQ(stale[0].rule, "wall-clock");
+}
+
+TEST(DetlintPrune, MultiRuleInlineAllowReportsOnlyTheStaleRule) {
+  const std::string source =
+      "#include <unordered_set>\n"
+      "// detlint: allow(unordered-state, libc-rand): set is probe-only.\n"
+      "std::unordered_set<int> seen;\n";
+  d2dhb::detlint::Usage usage;
+  const auto findings = scan_source("probe.cpp", source, {}, &usage);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(usage.stale_inline.size(), 1u);
+  EXPECT_EQ(usage.stale_inline[0].rule, "libc-rand");
+  EXPECT_EQ(usage.stale_inline[0].line, 2u);
+}
+
+TEST(DetlintPrune, UsageAggregatesAcrossScanPaths) {
+  Options options;
+  options.allowlist.push_back(AllowEntry{"*", "*does_not_exist*", "a.txt", 3});
+  d2dhb::detlint::Usage usage;
+  const auto findings = scan_paths(
+      {std::filesystem::path(DETLINT_FIXTURE_DIR)}, options, &usage);
+  ASSERT_FALSE(findings.empty());
+  ASSERT_EQ(usage.allowlist_used.size(), 1u);
+  EXPECT_FALSE(usage.allowlist_used[0]);
+  const auto stale = usage.stale(options);
+  ASSERT_FALSE(stale.empty());
+  EXPECT_EQ(stale[0].file, "a.txt");
+  EXPECT_EQ(stale[0].line, 3u);
 }
 
 TEST(DetlintGlob, MatchesShellStylePatterns) {

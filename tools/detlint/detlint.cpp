@@ -19,6 +19,10 @@ constexpr const char* kStdRng = "std-rng";
 constexpr const char* kPtrKey = "ptr-key";
 constexpr const char* kFloatAccum = "float-accum";
 constexpr const char* kAllowNoReason = "allow-no-reason";
+constexpr const char* kCrossStrip = "cross-strip-access";
+constexpr const char* kArenaEscape = "arena-escape";
+constexpr const char* kMailboxHorizon = "mailbox-horizon";
+constexpr const char* kLaneMix = "lane-mix";
 
 bool is_word(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -58,10 +62,34 @@ std::vector<std::size_t> word_positions(const std::string& s,
   return out;
 }
 
-/// Strips // and /* */ comments plus string and char literals,
-/// replacing them with spaces so offsets and line numbers survive.
-std::string strip_comments_and_strings(const std::string& source) {
+/// True when the '"' at `quote` opens a raw string literal: preceded by
+/// `R` with an optional encoding prefix (u8/u/L/U), and the prefix is
+/// not the tail of a longer identifier (`FOOR"..."` is not raw).
+bool raw_literal_at(const std::string& s, std::size_t quote) {
+  if (quote == 0 || s[quote - 1] != 'R') return false;
+  std::size_t begin = quote - 1;  // index of 'R'
+  if (begin > 0) {
+    if (s[begin - 1] == '8' && begin > 1 && s[begin - 2] == 'u') {
+      begin -= 2;
+    } else if (s[begin - 1] == 'u' || s[begin - 1] == 'L' ||
+               s[begin - 1] == 'U') {
+      begin -= 1;
+    }
+  }
+  return begin == 0 || !is_word(s[begin - 1]);
+}
+
+/// Strips // and /* */ comments plus string and char literals —
+/// including raw strings (`R"delim(...)delim"`) and backslash-newline
+/// continued line comments — replacing them with spaces so offsets and
+/// line numbers survive.
+std::string strip_comments_and_strings(const std::string& source,
+                                       std::string* kinds = nullptr) {
   std::string out = source;
+  if (kinds != nullptr) kinds->assign(source.size(), 'c');
+  const auto mark = [kinds](std::size_t at, char kind) {
+    if (kinds != nullptr) (*kinds)[at] = kind;
+  };
   enum class State { code, line_comment, block_comment, string, chr };
   State state = State::code;
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -72,60 +100,119 @@ std::string strip_comments_and_strings(const std::string& source) {
         if (c == '/' && next == '/') {
           state = State::line_comment;
           out[i] = ' ';
+          mark(i, 'm');
         } else if (c == '/' && next == '*') {
           state = State::block_comment;
           out[i] = ' ';
+          mark(i, 'm');
+        } else if (c == '"' && raw_literal_at(source, i)) {
+          // Raw string: everything through `)delim"` is literal text —
+          // no escapes, quotes don't close it. A malformed delimiter
+          // (too long, or holding a forbidden character) falls back to
+          // the ordinary string scanner, like a compiler would reject.
+          const std::size_t open = source.find('(', i + 1);
+          const bool delim_ok =
+              open != std::string::npos && open - i - 1 <= 16 &&
+              [&] {
+                for (std::size_t j = i + 1; j < open; ++j) {
+                  const char d = source[j];
+                  if (std::isspace(static_cast<unsigned char>(d)) != 0 ||
+                      d == ')' || d == '\\' || d == '"') {
+                    return false;
+                  }
+                }
+                return true;
+              }();
+          if (!delim_ok) {
+            state = State::string;
+            out[i] = ' ';
+            break;
+          }
+          const std::string terminator =
+              ")" + source.substr(i + 1, open - i - 1) + "\"";
+          const std::size_t close = source.find(terminator, open + 1);
+          const std::size_t stop = close == std::string::npos
+                                       ? source.size()
+                                       : close + terminator.size();
+          for (std::size_t j = i; j < stop; ++j) {
+            if (out[j] != '\n') {
+              out[j] = ' ';
+              mark(j, 's');
+            }
+          }
+          i = stop - 1;  // resume in code state after the literal
         } else if (c == '"') {
           state = State::string;
           out[i] = ' ';
+          mark(i, 's');
         } else if (c == '\'') {
           state = State::chr;
           out[i] = ' ';
+          mark(i, 's');
         }
         break;
       case State::line_comment:
         if (c == '\n') {
-          state = State::code;
+          // A backslash-newline splice keeps the comment going on the
+          // next physical line. Consult the original text — the copy's
+          // backslash has already been blanked.
+          std::size_t b = i;
+          while (b > 0 && source[b - 1] == '\r') --b;
+          if (!(b > 0 && source[b - 1] == '\\')) state = State::code;
         } else {
           out[i] = ' ';
+          mark(i, 'm');
         }
         break;
       case State::block_comment:
         if (c == '*' && next == '/') {
           out[i] = ' ';
           out[i + 1] = ' ';
+          mark(i, 'm');
+          mark(i + 1, 'm');
           ++i;
           state = State::code;
         } else if (c != '\n') {
           out[i] = ' ';
+          mark(i, 'm');
         }
         break;
       case State::string:
         if (c == '\\') {
           out[i] = ' ';
+          mark(i, 's');
           if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
+            if (i + 1 < out.size()) {
+              out[i + 1] = ' ';
+              mark(i + 1, 's');
+            }
             ++i;
           }
         } else if (c == '"') {
           out[i] = ' ';
+          mark(i, 's');
           state = State::code;
         } else if (c != '\n') {
           out[i] = ' ';
+          mark(i, 's');
         }
         break;
       case State::chr:
         if (c == '\\') {
           out[i] = ' ';
+          mark(i, 's');
           if (i + 1 < out.size() && next != '\n') {
             out[i + 1] = ' ';
+            mark(i + 1, 's');
             ++i;
           }
         } else if (c == '\'') {
           out[i] = ' ';
+          mark(i, 's');
           state = State::code;
         } else if (c != '\n') {
           out[i] = ' ';
+          mark(i, 's');
         }
         break;
     }
@@ -166,17 +253,36 @@ const std::vector<std::string>& unordered_type_tokens() {
 struct Suppression {
   std::size_t line;  ///< 1-based line the annotation sits on.
   std::vector<std::string> rules;
+  std::vector<bool> rule_used;  ///< Parallel to rules: exempted a finding.
   bool has_reason;
 };
 
 /// Parses every `detlint: allow(rule, ...)` annotation in the raw
-/// (unstripped) source.
+/// (unstripped) source. An annotation only counts when it opens its
+/// comment — `kinds` (the stripper's per-byte code/string/comment map)
+/// rejects look-alikes inside string literals, and prose that merely
+/// mentions the syntax mid-comment is skipped, so documentation never
+/// registers as a (stale) suppression.
 std::vector<Suppression> parse_suppressions(
-    const std::string& source, const std::vector<std::size_t>& line_starts) {
+    const std::string& source, const std::vector<std::size_t>& line_starts,
+    const std::string& kinds) {
   std::vector<Suppression> out;
   const std::string marker = "detlint: allow(";
   for (std::size_t pos = source.find(marker); pos != std::string::npos;
        pos = source.find(marker, pos + 1)) {
+    if (pos >= kinds.size() || kinds[pos] != 'm') continue;
+    std::size_t begin = pos;
+    while (begin > 0 && kinds[begin - 1] == 'm') --begin;
+    bool opens_comment = true;
+    for (std::size_t j = begin; j < pos; ++j) {
+      const char c = source[j];
+      if (c != '/' && c != '*' && c != '!' &&
+          std::isspace(static_cast<unsigned char>(c)) == 0) {
+        opens_comment = false;
+        break;
+      }
+    }
+    if (!opens_comment) continue;
     const std::size_t open = pos + marker.size() - 1;
     const std::size_t close = source.find(')', open);
     if (close == std::string::npos) continue;
@@ -201,6 +307,7 @@ std::vector<Suppression> parse_suppressions(
       if (std::isalnum(static_cast<unsigned char>(c)) != 0) ++letters;
     }
     s.has_reason = letters >= 3;
+    s.rule_used.assign(s.rules.size(), false);
     out.push_back(std::move(s));
   }
   return out;
@@ -230,17 +337,21 @@ bool line_is_blank(const std::string& s,
 }
 
 /// A finding at `line` is suppressed by an annotation on the same line
-/// or in the contiguous comment block directly above it.
-bool suppressed(const ScanState& st, std::size_t line,
-                const std::string& rule) {
+/// or in the contiguous comment block directly above it. A match marks
+/// the annotation's rule as used (for --prune-allowlist staleness).
+bool suppressed(ScanState& st, std::size_t line, const std::string& rule) {
   auto allows = [&](std::size_t l) {
-    for (const Suppression& s : st.suppressions) {
+    bool hit = false;
+    for (Suppression& s : st.suppressions) {
       if (s.line != l) continue;
-      for (const std::string& r : s.rules) {
-        if (r == rule || r == "*") return true;
+      for (std::size_t r = 0; r < s.rules.size(); ++r) {
+        if (s.rules[r] == rule || s.rules[r] == "*") {
+          s.rule_used[r] = true;
+          hit = true;
+        }
       }
     }
-    return false;
+    return hit;
   };
   if (allows(line)) return true;
   for (std::size_t l = line; l-- > 1;) {
@@ -516,6 +627,261 @@ void scan_pointer_keys(ScanState& st) {
   }
 }
 
+/// True when the token at `pos` is reached through `.` or `->` — a
+/// member call on some object, as opposed to a `::` qualifier (its own
+/// declaration / out-of-line definition) or a free function.
+bool member_dot_qualified(const std::string& s, std::size_t pos) {
+  if (pos == 0) return false;
+  if (s[pos - 1] == '.') return true;
+  return s[pos - 1] == '>' && pos >= 2 && s[pos - 2] == '-';
+}
+
+/// Start of the enclosing statement: just past the previous ';', '{',
+/// or '}' (or the start of the file).
+std::size_t statement_begin(const std::string& s, std::size_t pos) {
+  std::size_t b = pos;
+  while (b > 0) {
+    const char c = s[b - 1];
+    if (c == ';' || c == '{' || c == '}') break;
+    --b;
+  }
+  return b;
+}
+
+/// Position after `token` at `pos`, whitespace skipped.
+std::size_t after_token(const std::string& s, std::size_t pos,
+                        std::size_t token_size) {
+  std::size_t after = pos + token_size;
+  while (after < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[after])) != 0) {
+    ++after;
+  }
+  return after;
+}
+
+/// Top-level comma split of a call's argument list: `open` is the '('.
+/// Depth counts ()/{}/[] only — '<' is ambiguous with less-than, and
+/// none of the scanned call shapes nest commas inside bare template
+/// argument lists. Empty when the parens are unbalanced.
+std::vector<std::string> call_arguments(const std::string& s,
+                                        std::size_t open) {
+  const std::size_t close = skip_balanced(s, open, '(', ')');
+  if (close == std::string::npos) return {};
+  std::vector<std::string> args;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open + 1; i + 1 < close; ++i) {
+    const char c = s[i];
+    if (c == '(' || c == '{' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == '}' || c == ']') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      args.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  args.push_back(s.substr(begin, close - 1 - begin));
+  return args;
+}
+
+std::string without_spaces(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+  }
+  return out;
+}
+
+/// cross-strip-access: substrate code must act on its own strip (the
+/// active ShardGuard lane) and reach other strips via Simulator::post_to
+/// only. Member calls on kernel()/mailbox() — the executor's direct
+/// shard handles — and any set_scheduling_shard() override are flagged;
+/// the engine/simulator internals that legitimately own them are
+/// exempted by the src/sim allowlist entries.
+void scan_cross_strip(ScanState& st) {
+  for (const char* token : {"kernel", "mailbox"}) {
+    const std::size_t token_size = std::string(token).size();
+    for (const std::size_t pos : word_positions(st.code, token)) {
+      if (!member_dot_qualified(st.code, pos)) continue;
+      const std::size_t after = after_token(st.code, pos, token_size);
+      if (after >= st.code.size() || st.code[after] != '(') continue;
+      report(st, line_of(st.line_starts, pos), kCrossStrip,
+             "direct " + std::string(token) +
+                 "() access reaches into a shard's private state; stay "
+                 "on the active strip and cross via Simulator::post_to");
+    }
+  }
+  for (const std::size_t pos :
+       word_positions(st.code, "set_scheduling_shard")) {
+    const std::size_t after =
+        after_token(st.code, pos, std::string("set_scheduling_shard").size());
+    if (after >= st.code.size() || st.code[after] != '(') continue;
+    report(st, line_of(st.line_starts, pos), kCrossStrip,
+           "set_scheduling_shard() overrides the ShardGuard lane; use a "
+           "scoped ShardGuard, never a bare override");
+  }
+}
+
+/// arena-escape: `arena.create<T>()` / `arena.adopt()` hand out a
+/// borrow tied to the strip arena's lifetime. Storing it in a `static`
+/// or returning it straight out of the creating function are the two
+/// lexically visible escape shapes.
+void scan_arena_escape(ScanState& st) {
+  for (const char* token : {"create", "adopt"}) {
+    const bool is_create = std::string(token) == "create";
+    const std::size_t token_size = std::string(token).size();
+    for (const std::size_t pos : word_positions(st.code, token)) {
+      if (!member_dot_qualified(st.code, pos)) continue;
+      const std::size_t after = after_token(st.code, pos, token_size);
+      if (after >= st.code.size() ||
+          st.code[after] != (is_create ? '<' : '(')) {
+        continue;
+      }
+      const std::size_t stmt = statement_begin(st.code, pos);
+      const std::string head = st.code.substr(stmt, pos - stmt);
+      const bool is_static = !word_positions(head, "static").empty();
+      const bool is_return = !word_positions(head, "return").empty();
+      if (!is_static && !is_return) continue;
+      report(st, line_of(st.line_starts, pos), kArenaEscape,
+             std::string("arena ") + token + "() borrow " +
+                 (is_static ? "stored in a static — it outlives the "
+                              "strip arena that owns the object"
+                            : "returned from the creating scope — the "
+                              "borrow must not outlive or leave its "
+                              "strip's arena scope"));
+    }
+  }
+}
+
+/// mailbox-horizon: the conservative-lookahead contract. Draining
+/// belongs to the engine's window barrier alone; posts must carry
+/// positive slack above `now()` (an envelope at exactly now() is
+/// already below the destination's next horizon when windows overlap).
+void scan_mailbox_horizon(ScanState& st) {
+  for (const char* token : {"drain_into", "drain_window"}) {
+    const std::size_t token_size = std::string(token).size();
+    for (const std::size_t pos : word_positions(st.code, token)) {
+      const std::size_t after = after_token(st.code, pos, token_size);
+      if (after >= st.code.size() || st.code[after] != '(') continue;
+      report(st, line_of(st.line_starts, pos), kMailboxHorizon,
+             std::string(token) +
+                 "() outside the executor's window barrier races the "
+                 "two-phase drain/execute contract");
+    }
+  }
+  for (const std::size_t pos : word_positions(st.code, "post_to")) {
+    const std::size_t after =
+        after_token(st.code, pos, std::string("post_to").size());
+    if (after >= st.code.size() || st.code[after] != '(') continue;
+    const std::vector<std::string> args = call_arguments(st.code, after);
+    if (args.size() < 2) continue;
+    const std::string& when = args[1];
+    bool now_call = false;
+    for (const std::size_t p : word_positions(when, "now")) {
+      const std::size_t a = after_token(when, p, 3);
+      if (a < when.size() && when[a] == '(') now_call = true;
+    }
+    if (!now_call || when.find('+') != std::string::npos) continue;
+    report(st, line_of(st.line_starts, pos), kMailboxHorizon,
+           "post_to() at exactly now() has zero slack below the "
+           "destination's conservative horizon; add positive delay");
+  }
+  for (const std::size_t pos : word_positions(st.code, "post_after")) {
+    const std::size_t after =
+        after_token(st.code, pos, std::string("post_after").size());
+    if (after >= st.code.size() || st.code[after] != '(') continue;
+    const std::vector<std::string> args = call_arguments(st.code, after);
+    if (args.size() < 2) continue;
+    const std::string delay = without_spaces(args[1]);
+    const bool zero =
+        delay == "0" || delay == "Duration{}" || delay == "Duration()" ||
+        delay == "zero()" || delay == "Duration::zero()" ||
+        delay == "milliseconds(0)" || delay == "microseconds(0)" ||
+        delay == "seconds(0)" || delay == "minutes(0)" ||
+        (delay.size() > 8 &&
+         delay.compare(delay.size() - 8, 8, "::zero()") == 0);
+    if (!zero) continue;
+    report(st, line_of(st.line_starts, pos), kMailboxHorizon,
+           "post_after() with zero delay posts at the horizon itself; "
+           "cross-strip envelopes need positive slack");
+  }
+}
+
+/// lane-mix: laned substrates (strided seq lanes, per-strip rng/stat
+/// lanes) must be indexed by the executing shard, never a hard-coded
+/// strip number; set_seq_lane re-striding belongs to the executor.
+void scan_lane_mix(ScanState& st) {
+  for (const std::size_t pos : word_positions(st.code, "set_seq_lane")) {
+    const std::size_t after =
+        after_token(st.code, pos, std::string("set_seq_lane").size());
+    if (after >= st.code.size() || st.code[after] != '(') continue;
+    report(st, line_of(st.line_starts, pos), kLaneMix,
+           "set_seq_lane() re-strides a kernel's sequence lane; only "
+           "the executor may assign lanes, at world construction");
+  }
+  // `*lanes[...]` / `*lanes_[...]` subscripted by an integer literal.
+  for (std::size_t i = 0; i < st.code.size();) {
+    if (!is_word(st.code[i]) || (i > 0 && is_word(st.code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < st.code.size() && is_word(st.code[end])) ++end;
+    const std::string ident = st.code.substr(i, end - i);
+    const bool laned =
+        (ident.size() >= 5 &&
+         ident.compare(ident.size() - 5, 5, "lanes") == 0) ||
+        (ident.size() >= 6 &&
+         ident.compare(ident.size() - 6, 6, "lanes_") == 0);
+    if (laned) {
+      std::size_t open = end;
+      while (open < st.code.size() &&
+             std::isspace(static_cast<unsigned char>(st.code[open])) != 0) {
+        ++open;
+      }
+      if (open < st.code.size() && st.code[open] == '[') {
+        const std::size_t close = skip_balanced(st.code, open, '[', ']');
+        if (close != std::string::npos) {
+          const std::string index = without_spaces(
+              st.code.substr(open + 1, close - 1 - open - 1));
+          const bool literal =
+              !index.empty() &&
+              std::all_of(index.begin(), index.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c)) != 0;
+              });
+          if (literal) {
+            report(st, line_of(st.line_starts, i), kLaneMix,
+                   "laned substrate indexed by a hard-coded strip; "
+                   "index by the executing shard "
+                   "(sim.current_shard() / the ShardGuard lane)");
+          }
+        }
+      }
+    }
+    i = end;
+  }
+  // Member `.lane(<integer literal>)` accessors.
+  for (const std::size_t pos : word_positions(st.code, "lane")) {
+    if (!member_dot_qualified(st.code, pos)) continue;
+    const std::size_t after = after_token(st.code, pos, 4);
+    if (after >= st.code.size() || st.code[after] != '(') continue;
+    const std::vector<std::string> args = call_arguments(st.code, after);
+    if (args.size() != 1) continue;
+    const std::string arg = without_spaces(args[0]);
+    const bool literal = !arg.empty() &&
+                         std::all_of(arg.begin(), arg.end(), [](char c) {
+                           return std::isdigit(static_cast<unsigned char>(c)) !=
+                                  0;
+                         });
+    if (!literal) continue;
+    report(st, line_of(st.line_starts, pos), kLaneMix,
+           "lane() fetched for a hard-coded strip; fetch the executing "
+           "shard's lane instead");
+  }
+}
+
 void scan_bare_allows(ScanState& st) {
   for (const Suppression& s : st.suppressions) {
     if (s.has_reason) continue;
@@ -527,20 +893,32 @@ void scan_bare_allows(ScanState& st) {
 }
 
 bool allowlisted(const Options& options, const std::string& path,
-                 const std::string& rule) {
+                 const std::string& rule, Usage* usage) {
   // Match against the full path and every '/'-suffix, so relative
   // allowlist entries work however the scanner was invoked.
   std::vector<std::string> candidates{path};
   for (std::size_t i = 0; i < path.size(); ++i) {
     if (path[i] == '/') candidates.push_back(path.substr(i + 1));
   }
-  for (const AllowEntry& entry : options.allowlist) {
+  if (usage != nullptr && usage->allowlist_used.size() <
+                              options.allowlist.size()) {
+    usage->allowlist_used.resize(options.allowlist.size(), false);
+  }
+  bool hit = false;
+  for (std::size_t e = 0; e < options.allowlist.size(); ++e) {
+    const AllowEntry& entry = options.allowlist[e];
     if (entry.rule != "*" && entry.rule != rule) continue;
     for (const std::string& c : candidates) {
-      if (glob_match(entry.path_glob, c)) return true;
+      if (glob_match(entry.path_glob, c)) {
+        // Keep matching so duplicate entries all get usage credit.
+        if (usage != nullptr) usage->allowlist_used[e] = true;
+        hit = true;
+        break;
+      }
     }
+    if (hit && usage == nullptr) return true;
   }
-  return false;
+  return hit;
 }
 
 }  // namespace
@@ -580,8 +958,32 @@ const std::vector<RuleInfo>& rules() {
       {kPtrKey, "ordered container keyed on a pointer (address order)"},
       {kFloatAccum, "accumulation inside unordered iteration"},
       {kAllowNoReason, "suppression without an inline justification"},
+      {kCrossStrip,
+       "another strip's kernel()/mailbox() touched directly (use "
+       "Simulator::post_to)"},
+      {kArenaEscape,
+       "arena create<>/adopt() borrow escapes its strip's arena scope"},
+      {kMailboxHorizon,
+       "mailbox drained off-barrier or posted with zero horizon slack"},
+      {kLaneMix,
+       "laned substrate used from the wrong strip (hard-coded lane "
+       "index / set_seq_lane outside the executor)"},
   };
   return kRules;
+}
+
+std::vector<StaleAllow> Usage::stale(const Options& options) const {
+  std::vector<StaleAllow> out;
+  for (std::size_t e = 0; e < options.allowlist.size(); ++e) {
+    if (e < allowlist_used.size() && allowlist_used[e]) continue;
+    const AllowEntry& entry = options.allowlist[e];
+    out.push_back(StaleAllow{
+        entry.source.empty() ? "<allowlist>" : entry.source, entry.line,
+        entry.rule, "allowlist entry `" + entry.rule + " " +
+                        entry.path_glob + "` matched no finding"});
+  }
+  out.insert(out.end(), stale_inline.begin(), stale_inline.end());
+  return out;
 }
 
 std::string Finding::to_string() const {
@@ -620,18 +1022,19 @@ Options load_allowlist(const std::filesystem::path& file) {
                                  rule + "'");
       }
     }
-    options.allowlist.push_back(AllowEntry{rule, glob});
+    options.allowlist.push_back(AllowEntry{rule, glob, file.string(), lineno});
   }
   return options;
 }
 
 std::vector<Finding> scan_source(const std::string& path_label,
                                  const std::string& source,
-                                 const Options& options) {
+                                 const Options& options, Usage* usage) {
   ScanState st;
   st.raw = &source;
   st.path = path_label;
-  st.code = strip_comments_and_strings(source);
+  std::string kinds;
+  st.code = strip_comments_and_strings(source, &kinds);
 
   st.line_starts.push_back(0);
   for (std::size_t i = 0; i < source.size(); ++i) {
@@ -644,17 +1047,32 @@ std::vector<Finding> scan_source(const std::string& path_label,
         line_is_blank(st.code, st.line_starts, l) &&
         !line_is_blank(source, st.line_starts, l);
   }
-  st.suppressions = parse_suppressions(source, st.line_starts);
+  st.suppressions = parse_suppressions(source, st.line_starts, kinds);
 
   scan_unordered_declarations(st);
   scan_unordered_loops(st);
   scan_token_rules(st);
   scan_pointer_keys(st);
+  scan_cross_strip(st);
+  scan_arena_escape(st);
+  scan_mailbox_horizon(st);
+  scan_lane_mix(st);
   scan_bare_allows(st);
+
+  if (usage != nullptr) {
+    for (const Suppression& s : st.suppressions) {
+      for (std::size_t r = 0; r < s.rules.size(); ++r) {
+        if (s.rule_used[r]) continue;
+        usage->stale_inline.push_back(StaleAllow{
+            path_label, s.line, s.rules[r],
+            "inline allow(" + s.rules[r] + ") exempted no finding"});
+      }
+    }
+  }
 
   std::vector<Finding> findings;
   for (Finding& f : st.findings) {
-    if (!allowlisted(options, path_label, f.rule)) {
+    if (!allowlisted(options, path_label, f.rule, usage)) {
       findings.push_back(std::move(f));
     }
   }
@@ -667,18 +1085,19 @@ std::vector<Finding> scan_source(const std::string& path_label,
 }
 
 std::vector<Finding> scan_file(const std::filesystem::path& file,
-                               const Options& options) {
+                               const Options& options, Usage* usage) {
   std::ifstream in(file, std::ios::binary);
   if (!in) {
     throw std::runtime_error("detlint: cannot read " + file.string());
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return scan_source(file.generic_string(), buffer.str(), options);
+  return scan_source(file.generic_string(), buffer.str(), options, usage);
 }
 
 std::vector<Finding> scan_paths(
-    const std::vector<std::filesystem::path>& roots, const Options& options) {
+    const std::vector<std::filesystem::path>& roots, const Options& options,
+    Usage* usage) {
   std::vector<std::filesystem::path> files;
   const auto is_cpp = [](const std::filesystem::path& p) {
     const std::string ext = p.extension().string();
@@ -698,9 +1117,12 @@ std::vector<Finding> scan_paths(
     }
   }
   std::sort(files.begin(), files.end());  // deterministic report order
+  if (usage != nullptr) {
+    usage->allowlist_used.resize(options.allowlist.size(), false);
+  }
   std::vector<Finding> findings;
   for (const std::filesystem::path& file : files) {
-    std::vector<Finding> f = scan_file(file, options);
+    std::vector<Finding> f = scan_file(file, options, usage);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));
   }

@@ -30,6 +30,24 @@
 //   allow-no-reason  a `detlint: allow(...)` suppression without a
 //                    justification; every suppression must say why.
 //
+// v2 shard/arena rules — DESIGN.md §12-13's strip-confinement and
+// arena-lifetime conventions as gates (see DESIGN.md §14):
+//   cross-strip-access  member calls on another strip's kernel()/
+//                    mailbox() or a set_scheduling_shard() override —
+//                    substrate code must stay on its ShardGuard lane
+//                    and cross strips via Simulator::post_to only.
+//   arena-escape     an arena create<>/adopt() borrow stored into a
+//                    `static` or returned — the T& must not outlive
+//                    or leave its strip's arena scope.
+//   mailbox-horizon  draining a mailbox outside the engine's window
+//                    barrier, posting at exactly now() (zero slack
+//                    below the conservative horizon), or post_after
+//                    with a zero delay.
+//   lane-mix         seq-lane re-striding (set_seq_lane) outside the
+//                    executor, or a laned substrate (`*lanes_[...]`,
+//                    `.lane(...)`) indexed by a hard-coded strip
+//                    number instead of the executing shard.
+//
 // Suppressions: `// detlint: allow(rule-id): <reason>` on the offending
 // line or in the comment block directly above it. Several rules may be
 // listed (comma-separated). A checked-in allowlist file exempts whole
@@ -71,10 +89,35 @@ struct Finding {
 struct AllowEntry {
   std::string rule;
   std::string path_glob;
+  /// Where the entry came from (filled by load_allowlist; empty for
+  /// programmatic entries) so stale entries report their own site.
+  std::string source;
+  std::size_t line{0};
 };
 
 struct Options {
   std::vector<AllowEntry> allowlist;
+};
+
+/// One suppression — file-level (allowlist entry) or inline
+/// (`// detlint: allow(rule)`) — that exempted no finding in the scan.
+struct StaleAllow {
+  std::string file;  ///< Allowlist file, or the scanned file for inline.
+  std::size_t line;  ///< Entry / annotation line (0 when unknown).
+  std::string rule;
+  std::string detail;  ///< Human-readable description of the entry.
+};
+
+/// Suppression usage collected across a scan, for --prune-allowlist.
+/// `allowlist_used` is parallel to Options::allowlist; `stale_inline`
+/// lists per-rule inline allows that matched nothing in their file.
+struct Usage {
+  std::vector<bool> allowlist_used;
+  std::vector<StaleAllow> stale_inline;
+
+  /// All stale suppressions: unused allowlist entries first (in entry
+  /// order), then the stale inline allows (in scan order).
+  std::vector<StaleAllow> stale(const Options& options) const;
 };
 
 /// Parses an allowlist file: one `<rule-id> <path-glob>` pair per line,
@@ -84,20 +127,25 @@ Options load_allowlist(const std::filesystem::path& file);
 
 /// Scans one translation unit given as a string. `path_label` is used
 /// for reporting and allowlist matching. Findings come back sorted by
-/// (line, rule).
+/// (line, rule). With `usage`, suppression use is accumulated into it
+/// (allowlist_used grows to the allowlist's size on first need; pass
+/// one Usage across many files to aggregate).
 std::vector<Finding> scan_source(const std::string& path_label,
                                  const std::string& source,
-                                 const Options& options = {});
+                                 const Options& options = {},
+                                 Usage* usage = nullptr);
 
 /// Scans one file from disk. Throws std::runtime_error if unreadable.
 std::vector<Finding> scan_file(const std::filesystem::path& file,
-                               const Options& options = {});
+                               const Options& options = {},
+                               Usage* usage = nullptr);
 
 /// Scans every C++ source/header under the given roots (files are taken
 /// as-is, directories are walked recursively), in sorted path order so
 /// the report is deterministic. Returns all findings.
 std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& roots,
-                                const Options& options = {});
+                                const Options& options = {},
+                                Usage* usage = nullptr);
 
 /// True if `glob` ('*' and '?' wildcards) matches `text`.
 bool glob_match(const std::string& glob, const std::string& text);

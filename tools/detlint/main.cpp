@@ -2,9 +2,11 @@
 // hazards and exits non-zero when findings remain after suppressions —
 // the shape CI gates want. See detlint.hpp for the rule set.
 //
-//   detlint [--allowlist FILE] [--report FILE] [--list-rules] PATH...
+//   detlint [--allowlist FILE] [--report FILE] [--list-rules]
+//           [--prune-allowlist] PATH...
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// Exit codes: 0 clean, 1 findings (or, under --prune-allowlist, stale
+// suppressions), 2 usage or I/O error.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,11 +18,14 @@ namespace {
 
 int usage(std::ostream& os) {
   os << "usage: detlint [--allowlist FILE] [--report FILE] [--list-rules]\n"
-        "               PATH...\n"
+        "               [--prune-allowlist] PATH...\n"
         "Scans C++ sources under each PATH for determinism hazards.\n"
-        "  --allowlist FILE  per-file rule exemptions (rule-id path-glob)\n"
-        "  --report FILE     also write findings (one per line) to FILE\n"
-        "  --list-rules      print the rule table and exit\n";
+        "  --allowlist FILE   per-file rule exemptions (rule-id path-glob)\n"
+        "  --report FILE      also write findings (one per line) to FILE\n"
+        "  --list-rules       print the rule table and exit\n"
+        "  --prune-allowlist  report allowlist entries and inline allow()\n"
+        "                     annotations that exempt no finding; exit 1\n"
+        "                     when stale suppressions exist\n";
   return 2;
 }
 
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
 
   Options options;
   std::string report_path;
+  bool prune = false;
   std::vector<std::filesystem::path> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +69,10 @@ int main(int argc, char** argv) {
       report_path = argv[i];
       continue;
     }
+    if (arg == "--prune-allowlist") {
+      prune = true;
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "detlint: unknown option " << arg << '\n';
       return usage(std::cerr);
@@ -72,11 +82,34 @@ int main(int argc, char** argv) {
   if (paths.empty()) return usage(std::cerr);
 
   std::vector<Finding> findings;
+  Usage used;
   try {
-    findings = scan_paths(paths, options);
+    findings = scan_paths(paths, options, prune ? &used : nullptr);
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';
     return 2;
+  }
+
+  if (prune) {
+    // Staleness mode: the findings themselves are not the output —
+    // suppressions that exempted none of them are.
+    const std::vector<StaleAllow> stale = used.stale(options);
+    for (const StaleAllow& s : stale) {
+      std::cout << s.file << ":" << s.line << ": stale: " << s.detail << '\n';
+    }
+    std::cout << "detlint: " << stale.size() << " stale suppression"
+              << (stale.size() == 1 ? "" : "s") << '\n';
+    if (!report_path.empty()) {
+      std::ofstream report(report_path);
+      if (!report) {
+        std::cerr << "detlint: cannot write report " << report_path << '\n';
+        return 2;
+      }
+      for (const StaleAllow& s : stale) {
+        report << s.file << ":" << s.line << ": stale: " << s.detail << '\n';
+      }
+    }
+    return stale.empty() ? 0 : 1;
   }
 
   for (const Finding& f : findings) std::cout << f.to_string() << '\n';
