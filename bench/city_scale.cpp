@@ -7,15 +7,24 @@
 //
 //   bench_city_scale [--smoke] [--threads T] [--duration S]
 //                    [--heap-agents] [--max-rss-mb N]
+//                    [--max-profile-overhead-pct P] [--trace-out PATH]
 //
 // --smoke shrinks the arms to CI size; --max-rss-mb N fails (exit 1)
 // when the final peak RSS exceeds N MB — the CI memory-regression
 // bound for the smoke leg (0 = unbounded, the default).
+//
+// After the ladder the bench re-runs one arm twice — profiler off and
+// on — and reports the overhead as a percentage of the off run.
+// --max-profile-overhead-pct P fails (exit 1) when that delta exceeds
+// P% (smoke defaults to 3, full runs to unbounded); --trace-out PATH
+// writes the on-arm's Chrome trace for trace_report / Perfetto.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -24,6 +33,7 @@
 #include "common/table.hpp"
 #include "scenario/city.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/profiler.hpp"
 
 namespace {
 
@@ -56,6 +66,41 @@ CityArm run_arm(const CityConfig& config) {
           ? static_cast<double>(arm.metrics.sim_events) / arm.run_s
           : 0.0;
   return arm;
+}
+
+/// The profiler on/off pair: one ladder arm re-run with spans disabled
+/// and enabled, best-of-`samples` wall time each so scheduler noise
+/// does not masquerade as span overhead.
+struct OverheadPair {
+  std::size_t phones{0};
+  double run_s_off{0.0};
+  double run_s_on{0.0};
+  /// (on - off) / off, in percent; negative deltas report as measured.
+  double overhead_pct{0.0};
+};
+
+OverheadPair run_overhead_pair(const CityConfig& base, std::size_t phones,
+                               int samples, d2dhb::sim::Profiler* profiler) {
+  OverheadPair pair;
+  pair.phones = phones;
+  pair.run_s_off = std::numeric_limits<double>::infinity();
+  pair.run_s_on = std::numeric_limits<double>::infinity();
+  CityConfig off = base;
+  off.phones = phones;
+  CityConfig on = off;
+  on.profile = true;
+  on.profiler = profiler;
+  for (int i = 0; i < samples; ++i) {
+    pair.run_s_off = std::min(pair.run_s_off, run_arm(off).run_s);
+    // On-arm last so the caller-owned profiler keeps the final (best
+    // measured) run's spans for --trace-out.
+    pair.run_s_on = std::min(pair.run_s_on, run_arm(on).run_s);
+  }
+  if (pair.run_s_off > 0.0) {
+    pair.overhead_pct =
+        100.0 * (pair.run_s_on - pair.run_s_off) / pair.run_s_off;
+  }
+  return pair;
 }
 
 void emit_arm_json(std::ostream& out, const CityArm& a, bool last) {
@@ -132,6 +177,26 @@ int main(int argc, char** argv) {
   }
   bench::emit(table, "city_scale");
 
+  // Profiler overhead pair: smoke re-measures its largest arm, the
+  // full ladder its smallest (100k) — the biggest world that is still
+  // cheap to run twice. Smoke takes best-of-3 because its runs are
+  // short enough for scheduler noise to dwarf a 3% bound.
+  const double max_overhead_pct = bench::flag_number(
+      argc, argv, "--max-profile-overhead-pct", smoke ? 3.0 : 0.0);
+  const std::string trace_out =
+      bench::flag_value(argc, argv, "--trace-out");
+  sim::Profiler profiler;
+  const OverheadPair overhead = run_overhead_pair(
+      base, smoke ? ladder.back() : ladder.front(), smoke ? 3 : 1,
+      &profiler);
+  std::cout << "profiler overhead @ " << overhead.phones << " phones: off "
+            << Table::num(overhead.run_s_off, 3) << " s, on "
+            << Table::num(overhead.run_s_on, 3) << " s ("
+            << Table::num(overhead.overhead_pct, 2) << "%)\n";
+  if (!trace_out.empty() && profiler.write_chrome_trace_file(trace_out)) {
+    std::cout << "(trace written to " << trace_out << ")\n";
+  }
+
   std::string path = "BENCH_city_scale.json";
   if (const char* dir = std::getenv("D2DHB_CSV_DIR")) {
     if (*dir != '\0') path = std::string(dir) + "/" + path;
@@ -150,7 +215,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       emit_arm_json(out, results[i], i + 1 == results.size());
     }
-    out << "  ]\n"
+    out << "  ],\n"
+        << "  \"profile_overhead\": {\"phones\": " << overhead.phones
+        << ", \"run_s_off\": " << overhead.run_s_off
+        << ", \"run_s_on\": " << overhead.run_s_on
+        << ", \"overhead_pct\": " << overhead.overhead_pct << "}\n"
         << "}\n";
     std::cout << "(json written to " << path << ")\n";
   }
@@ -160,6 +229,12 @@ int main(int argc, char** argv) {
   if (max_rss_mb > 0.0 && final_rss_mb > max_rss_mb) {
     std::cerr << "error: peak RSS " << final_rss_mb << " MB exceeds the "
               << "--max-rss-mb bound of " << max_rss_mb << " MB\n";
+    return 1;
+  }
+  if (max_overhead_pct > 0.0 && overhead.overhead_pct > max_overhead_pct) {
+    std::cerr << "error: profiler overhead " << overhead.overhead_pct
+              << "% exceeds the --max-profile-overhead-pct bound of "
+              << max_overhead_pct << "%\n";
     return 1;
   }
   return 0;

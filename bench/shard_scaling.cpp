@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "scenario/crowd.hpp"
 #include "scenario/crowd_cli.hpp"
 #include "sim/event_kernel.hpp"
+#include "sim/profiler.hpp"
 
 namespace {
 
@@ -80,6 +82,15 @@ CrowdConfig medium_point(std::size_t phones) {
   return config;
 }
 
+void emit_counter_array(std::ostream& out, const char* key,
+                        const std::vector<std::uint64_t>& values) {
+  out << ", \"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << values[i];
+  }
+  out << "]";
+}
+
 void emit_arm_json(std::ostream& out, const ThreadArm& r, bool last) {
   out << "    {\"arm\": \"" << r.arm << "\", \"threads\": " << r.threads
       << ", \"shards\": " << r.shards << ", \"kernels\": " << r.kernels
@@ -89,12 +100,25 @@ void emit_arm_json(std::ostream& out, const ThreadArm& r, bool last) {
       << ", \"events_per_sec\": " << r.events_per_sec
       << ", \"cross_shard_posted\": " << r.metrics.cross_shard_posted
       << ", \"cross_shard_delivered\": " << r.metrics.cross_shard_delivered
-      // INT64_MAX is the documented "nothing crossed a border"
-      // sentinel; it is exported as-is, never masked to 0.
-      << ", \"cross_min_slack_us\": " << r.metrics.cross_min_slack_us
-      // Process-monotone (getrusage): the largest world so far, which
-      // is why the headline arms run before the toy ones.
-      << ", \"peak_rss_bytes\": " << r.metrics.peak_rss_bytes
+      << ", \"cross_min_slack_us\": ";
+  // INT64_MAX is the "nothing crossed a border" sentinel. Export null
+  // instead of the raw 9.2e18 — downstream JSON readers coerce that to
+  // a double and report a nonsense 292-millennium slack.
+  if (r.metrics.cross_min_slack_us ==
+      std::numeric_limits<std::int64_t>::max()) {
+    out << "null";
+  } else {
+    out << r.metrics.cross_min_slack_us;
+  }
+  // Deterministic per-kernel totals (same numbers at every thread
+  // count) — the executor-side view of where the work landed.
+  emit_counter_array(out, "shard_events_executed",
+                     r.metrics.shard_events_executed);
+  emit_counter_array(out, "shard_mailbox_delivered",
+                     r.metrics.shard_mailbox_delivered);
+  // Process-monotone (getrusage): the largest world so far, which
+  // is why the headline arms run before the toy ones.
+  out << ", \"peak_rss_bytes\": " << r.metrics.peak_rss_bytes
       << "}" << (last ? "" : ",") << "\n";
 }
 
@@ -139,13 +163,24 @@ int main(int argc, char** argv) {
   // first, owns the process-monotone peak-RSS reading). Smoke keeps the
   // shape but shrinks it so the CI artifact still carries a medium
   // sample.
+  // --trace-out PATH records the 4-thread medium arm's engine spans and
+  // writes the Chrome trace after the table (trace_report / Perfetto).
+  const std::string trace_out =
+      bench::flag_value(argc, argv, "--trace-out");
+  sim::Profiler profiler;
+
   std::vector<ThreadArm> results;
   std::size_t medium_arms = 0;
   if (medium_enabled) {
     CrowdConfig medium = medium_point(smoke ? 1000u : 10000u);
     if (smoke) medium.duration_s = 300.0;
     for (const std::size_t threads : {1u, 4u}) {
-      results.push_back(run_arm("medium", medium, threads));
+      CrowdConfig arm = medium;
+      if (threads == 4 && !trace_out.empty()) {
+        arm.profile = true;
+        arm.profiler = &profiler;
+      }
+      results.push_back(run_arm("medium", arm, threads));
       ++medium_arms;
     }
   }
@@ -182,6 +217,16 @@ int main(int argc, char** argv) {
                    same ? "yes" : "NO"});
   }
   bench::emit(table, "shard_scaling");
+  if (!trace_out.empty()) {
+    if (profiler.finished()) {
+      if (profiler.write_chrome_trace_file(trace_out)) {
+        std::cout << "(trace written to " << trace_out << ")\n";
+      }
+    } else {
+      std::cerr << "warning: --trace-out records the 4-thread medium arm; "
+                   "nothing to write under --no-medium\n";
+    }
+  }
   if (!identical) {
     std::cerr << "error: threaded runs diverged from their 1-thread "
                  "reference — the byte-identical contract is broken\n";

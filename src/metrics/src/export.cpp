@@ -74,21 +74,41 @@ void write_entry(const SnapshotEntry& e, std::ostream& os) {
   os << '}';
 }
 
-}  // namespace
-
-void export_json(const Snapshot& snapshot, std::ostream& os) {
-  os << "{\"schema\":\"d2dhb.metrics.v1\",\"metrics\":[";
-  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
-    if (i > 0) os << ',';
+/// Shared body of the two JSON exporters: one partition, one schema.
+void export_json_partition(const Snapshot& snapshot, std::ostream& os,
+                           const char* schema, bool runtime) {
+  os << "{\"schema\":\"" << schema << "\",\"metrics\":[";
+  bool first = true;
+  for (const SnapshotEntry& e : snapshot.entries) {
+    if (is_runtime_metric(e.name) != runtime) continue;
+    if (!first) os << ',';
+    first = false;
     os << "\n";
-    write_entry(snapshot.entries[i], os);
+    write_entry(e, os);
   }
   os << "\n]}";
+}
+
+}  // namespace
+
+bool is_runtime_metric(std::string_view name) {
+  return name.rfind("runtime/", 0) == 0;
+}
+
+void export_json(const Snapshot& snapshot, std::ostream& os) {
+  export_json_partition(snapshot, os, "d2dhb.metrics.v1",
+                        /*runtime=*/false);
+}
+
+void export_runtime_json(const Snapshot& snapshot, std::ostream& os) {
+  export_json_partition(snapshot, os, "d2dhb.metrics.runtime.v1",
+                        /*runtime=*/true);
 }
 
 void export_csv(const Snapshot& snapshot, std::ostream& os) {
   os << "name,kind,node,cell,component,value,count,sum\n";
   for (const SnapshotEntry& e : snapshot.entries) {
+    if (is_runtime_metric(e.name)) continue;
     os << e.name << ',' << to_string(e.kind) << ',';
     if (e.labels.node != 0) os << e.labels.node;
     os << ',';

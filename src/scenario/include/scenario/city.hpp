@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "apps/app_profile.hpp"
+#include "sim/profiler.hpp"
 
 namespace d2dhb::scenario {
 
@@ -44,6 +46,13 @@ struct CityConfig {
   /// Ablation: per-object heap allocation instead of the pooled
   /// per-strip arenas (byte-identical results, different layout).
   bool heap_agents{false};
+  /// Record engine runtime spans (sim::RunOptions::profile): fills
+  /// CityMetrics::profile. Observational only — results are
+  /// byte-identical with it on or off.
+  bool profile{false};
+  /// Caller-owned span recorder (implies `profile`); keeps the merged
+  /// spans for Chrome-trace export after the run.
+  sim::Profiler* profiler{nullptr};
   std::uint64_t seed{11};
 };
 
@@ -69,6 +78,12 @@ struct CityMetrics {
   std::uint64_t arena_objects{0};
   /// Process peak RSS (getrusage) after the run, in bytes.
   std::uint64_t peak_rss_bytes{0};
+  /// Per-shard event/delivery counts (sim::RunStats). O(strips), not
+  /// O(phones) — safe at city scale, deterministic across threads.
+  std::vector<std::uint64_t> shard_events_executed;
+  std::vector<std::uint64_t> shard_mailbox_delivered;
+  /// Runtime profile summary (enabled=false unless CityConfig asked).
+  sim::ProfileSummary profile;
 };
 
 /// Builds the streamed city world (phones placed, agents started,

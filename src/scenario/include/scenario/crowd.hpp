@@ -15,6 +15,7 @@
 #include "core/operator_selection.hpp"
 #include "metrics/registry.hpp"
 #include "net/im_server.hpp"
+#include "sim/profiler.hpp"
 
 namespace d2dhb::scenario {
 
@@ -73,6 +74,14 @@ struct CrowdConfig {
   /// footprint differ — the arena-vs-heap equivalence gate holds the
   /// arena layer to that.
   bool heap_agents{false};
+  /// Record engine runtime spans (sim::RunOptions::profile): fills
+  /// CrowdMetrics::profile and the registry's runtime/ namespace.
+  /// Purely observational — deterministic results are byte-identical
+  /// with it on or off.
+  bool profile{false};
+  /// Caller-owned span recorder (implies `profile`); pass one to keep
+  /// the merged spans for Chrome-trace export after the run.
+  sim::Profiler* profiler{nullptr};
   std::uint64_t seed{7};
 };
 
@@ -121,8 +130,18 @@ struct CrowdMetrics {
   /// Monotone over the process lifetime — meaningful for the FIRST or
   /// LARGEST world a process builds, not per-arm in a shrinking sweep.
   std::uint64_t peak_rss_bytes{0};
+  /// Per-shard event/delivery counts (sim::RunStats) — deterministic,
+  /// byte-identical across thread counts, so load imbalance is visible
+  /// with profiling off.
+  std::vector<std::uint64_t> shard_events_executed;
+  std::vector<std::uint64_t> shard_mailbox_delivered;
+  /// Runtime profile summary (host wall-clock; enabled=false unless
+  /// CrowdConfig::profile/profiler asked for it).
+  sim::ProfileSummary profile;
   /// Full registry snapshot taken at the end of the run (every counter,
-  /// gauge, and histogram the substrates registered).
+  /// gauge, and histogram the substrates registered). A profiled run
+  /// additionally carries runtime/ entries here — the deterministic
+  /// exporters drop them (metrics/export.hpp partition rule).
   metrics::Snapshot metrics;
 };
 

@@ -137,9 +137,14 @@ CityMetrics run_city(Scenario& world, const CityConfig& config) {
   const TimePoint end = TimePoint{} + seconds(config.duration_s);
   sim::RunOptions options;
   options.threads = config.threads;
-  sim::run(world.sim(), end, options);
+  options.profile = config.profile;
+  options.profiler = config.profiler;
+  const sim::RunStats run_stats = sim::run(world.sim(), end, options);
 
   CityMetrics m;
+  m.shard_events_executed = run_stats.shard_events_executed;
+  m.shard_mailbox_delivered = run_stats.shard_mailbox_delivered;
+  m.profile = run_stats.profile;
   m.phones = world.phones().size();
   m.relays = world.relays().size();
   m.cells = world.cell_count();

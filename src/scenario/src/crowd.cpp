@@ -52,12 +52,14 @@ Scenario::Params world_params(const CrowdConfig& config,
   return params;
 }
 
-void run_world(Scenario& world, const CrowdConfig& config) {
+sim::RunStats run_world(Scenario& world, const CrowdConfig& config) {
   const TimePoint end = TimePoint{} + seconds(config.duration_s);
   sim::RunOptions options;
   options.shards = config.shards;
   options.threads = config.threads;
-  sim::run(world.sim(), end, options);
+  options.profile = config.profile;
+  options.profiler = config.profiler;
+  return sim::run(world.sim(), end, options);
 }
 
 std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {
@@ -76,7 +78,7 @@ std::vector<mobility::Vec2> cell_grid_sites(const CrowdConfig& config) {
 }
 
 void collect_common(Scenario& world, const CrowdConfig& config,
-                    CrowdMetrics& metrics) {
+                    const sim::RunStats& run_stats, CrowdMetrics& metrics) {
   metrics.phones = world.phones().size();
   metrics.total_l3 = world.total_l3();
   metrics.peak_l3_per_10s = world.worst_cell_peak(seconds(10));
@@ -101,6 +103,9 @@ void collect_common(Scenario& world, const CrowdConfig& config,
     metrics.cross_shard_delivered += world.sim().mailbox(s).delivered();
   }
   metrics.cross_min_slack_us = world.sim().cross_min_slack_us();
+  metrics.shard_events_executed = run_stats.shard_events_executed;
+  metrics.shard_mailbox_delivered = run_stats.shard_mailbox_delivered;
+  metrics.profile = run_stats.profile;
   const Arena::Stats arena = world.arena_stats();
   metrics.arena_bytes_allocated = arena.bytes_allocated;
   metrics.arena_bytes_reserved = arena.bytes_reserved;
@@ -196,7 +201,7 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
     }
   }
 
-  run_world(world, config);
+  const sim::RunStats run_stats = run_world(world, config);
 
   CrowdMetrics metrics;
   metrics.relays = world.relays().size();
@@ -212,7 +217,7 @@ CrowdMetrics run_d2d_crowd(const CrowdConfig& config) {
     metrics.link_losses += ue->stats().link_losses;
     metrics.ue_radio_uah += ue->phone().radio_charge().value;
   }
-  collect_common(world, config, metrics);
+  collect_common(world, config, run_stats, metrics);
   return metrics;
 }
 
@@ -237,14 +242,14 @@ CrowdMetrics run_original_crowd(const CrowdConfig& config) {
                                    static_cast<double>(config.phones))));
   }
 
-  run_world(world, config);
+  const sim::RunStats run_stats = run_world(world, config);
 
   CrowdMetrics metrics;
   metrics.relays = 0;
   for (auto& agent : world.originals()) {
     metrics.heartbeats_emitted += agent->heartbeats_sent();
   }
-  collect_common(world, config, metrics);
+  collect_common(world, config, run_stats, metrics);
   return metrics;
 }
 

@@ -72,6 +72,7 @@ std::string apply_crowd_flags(CliFlags& flags, CrowdConfig& config) {
   }
   config.threads = static_cast<std::size_t>(threads);
   if (flags.has("--heap-agents")) config.heap_agents = true;
+  if (flags.has("--profile")) config.profile = true;
   if (const auto policy = flags.value("--policy")) {
     if (*policy == "greedy") {
       config.operator_policy = core::SelectionPolicy::coverage_greedy;
@@ -105,7 +106,11 @@ const char* crowd_flags_help() {
       "    Seeded results are byte-identical for any N)\n"
       "    --heap-agents (one heap allocation per agent instead of the\n"
       "    pooled per-strip arenas; the ablation arm of the arena-vs-\n"
-      "    heap gate — seeded results are byte-identical)\n";
+      "    heap gate — seeded results are byte-identical)\n"
+      "    --profile (record engine runtime spans: per-shard busy time,\n"
+      "    barrier waits, window utilization — printed after the run\n"
+      "    and exported under the registry's runtime/ namespace;\n"
+      "    deterministic results stay byte-identical)\n";
 }
 
 }  // namespace d2dhb::scenario

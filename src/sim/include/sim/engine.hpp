@@ -30,8 +30,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.hpp"
+#include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
 
 namespace d2dhb::sim {
@@ -54,6 +56,17 @@ struct RunOptions {
   /// Audit every window barrier even when the simulator's periodic
   /// audit interval is off.
   bool audit{false};
+  /// Record runtime spans (window/drain/execute/barrier-wait) and fill
+  /// RunStats::profile + the registry's `runtime/` namespace. Purely
+  /// observational: a profiled run's deterministic metrics export is
+  /// byte-identical to an unprofiled one (the profile-equivalence gate
+  /// holds the engine to that).
+  bool profile{false};
+  /// Caller-owned span recorder; implies `profile`. Pass one to keep
+  /// the merged spans after the run (Chrome trace export,
+  /// tools/trace_report) — with only `profile` set the engine uses an
+  /// internal recorder that lives for the duration of the call.
+  Profiler* profiler{nullptr};
 };
 
 /// What one engine run did. Counters are cumulative over the
@@ -72,6 +85,14 @@ struct RunStats {
   /// monotone over the process lifetime, so it measures the largest
   /// world this process has driven, not this run in isolation.
   std::uint64_t peak_rss_bytes{0};
+  /// Per-shard event/delivery counts (cumulative, like the counters
+  /// above). Deterministic — byte-identical across thread counts — so
+  /// load imbalance stays visible with profiling off.
+  std::vector<std::uint64_t> shard_events_executed;
+  std::vector<std::uint64_t> shard_mailbox_delivered;
+  /// Runtime profile (host wall-clock; enabled=false unless
+  /// RunOptions::profile/profiler asked for it).
+  ProfileSummary profile;
 };
 
 /// Runs `sim` to `until` (inclusive, like Simulator::run_until) under

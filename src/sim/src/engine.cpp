@@ -8,8 +8,11 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "common/memory.hpp"
 #include "common/thread_annotations.hpp"
+#include "common/trace_span.hpp"
 
 namespace d2dhb::sim {
 
@@ -18,10 +21,13 @@ namespace {
 /// Persistent worker pool for the windowed executor. Workers block on a
 /// condition variable between rounds (the host may have fewer cores
 /// than workers; spinning would starve the very threads we wait for).
+/// With a profiler armed, each worker records into its own SpanBuffer —
+/// single-writer, no synchronization; the pool join publishes the
+/// buffers to whoever merges them.
 class WorkerPool {
  public:
-  WorkerPool(Simulator& sim, std::size_t workers)
-      : sim_(sim), workers_(workers) {
+  WorkerPool(Simulator& sim, std::size_t workers, Profiler* profiler)
+      : sim_(sim), workers_(workers), profiler_(profiler) {
     threads_.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w) {
       threads_.emplace_back([this, w] { worker_main(w); });
@@ -84,10 +90,16 @@ class WorkerPool {
   }
 
   void worker_main(std::size_t index) D2DHB_EXCLUDES(mutex_) {
+    SpanBuffer* spans =
+        profiler_ == nullptr ? nullptr : profiler_->buffer(index);
     std::uint64_t seen = 0;
     for (;;) {
       TimePoint target;
       Phase phase;
+      // The wait interval is measured around the whole blocking stretch
+      // (lock acquisition included) — that is the worker's idle time.
+      const std::uint64_t wait_begin_ns =
+          spans == nullptr ? 0 : trace_now_ns();
       {
         MutexLock lock(mutex_);
         while (!stop_ && round_ == seen) cv_.wait(lock);
@@ -95,6 +107,14 @@ class WorkerPool {
         seen = round_;
         target = target_;
         phase = phase_;
+      }
+      if (spans != nullptr) {
+        SpanRecord wait;
+        wait.kind = SpanKind::barrier_wait;
+        wait.begin_ns = wait_begin_ns;
+        wait.end_ns = trace_now_ns();
+        wait.payload = seen;
+        spans->push(wait);
       }
       try {
         // Owned kernels: k % workers == index. The drain phase delivers
@@ -104,9 +124,17 @@ class WorkerPool {
         for (std::size_t s = index; s < sim_.shard_count(); s += workers_) {
           const auto shard = static_cast<std::uint32_t>(s);
           if (phase == Phase::drain) {
-            sim_.mailbox(shard).drain_window(sim_.kernel(shard), target);
+            ScopedSpan span(spans, SpanKind::drain, shard);
+            span.set_payload(
+                sim_.mailbox(shard).drain_window(sim_.kernel(shard), target));
           } else {
+            ScopedSpan span(spans, SpanKind::execute, shard);
+            const std::uint64_t before =
+                spans == nullptr ? 0 : sim_.kernel(shard).executed_events();
             sim_.run_shard_before(shard, target);
+            if (spans != nullptr) {
+              span.set_payload(sim_.kernel(shard).executed_events() - before);
+            }
           }
         }
       } catch (...) {
@@ -122,6 +150,7 @@ class WorkerPool {
 
   Simulator& sim_;
   std::size_t workers_;
+  Profiler* profiler_;
   std::vector<std::thread> threads_;
   Mutex mutex_;
   /// _any variant: it waits on any BasicLockable, which lets it take
@@ -151,9 +180,13 @@ std::optional<TimePoint> earliest_pending(Simulator& sim) {
 }
 
 void collect(Simulator& sim, RunStats& stats) {
+  stats.shard_events_executed.reserve(sim.shard_count());
+  stats.shard_mailbox_delivered.reserve(sim.shard_count());
   for (std::uint32_t s = 0; s < sim.shard_count(); ++s) {
     stats.cross_posted += sim.mailbox(s).posted();
     stats.cross_delivered += sim.mailbox(s).delivered();
+    stats.shard_events_executed.push_back(sim.kernel(s).executed_events());
+    stats.shard_mailbox_delivered.push_back(sim.mailbox(s).delivered());
   }
   stats.min_slack_us = sim.cross_min_slack_us();
   stats.peak_rss_bytes = peak_rss_bytes();
@@ -171,8 +204,23 @@ RunStats run(Simulator& sim, TimePoint until, const RunOptions& options) {
   RunStats stats;
   stats.workers = std::max<std::size_t>(
       1, std::min({options.threads, options.shards, sim.shard_count()}));
+  // Arm the span recorder before the pool exists: workers grab their
+  // buffers on their first round. A caller-owned profiler keeps the
+  // merged spans (trace export); bare `profile` uses a run-local one
+  // that only feeds RunStats::profile and the runtime/ registry names.
+  Profiler* profiler = options.profiler;
+  std::unique_ptr<Profiler> run_local;
+  if (profiler == nullptr && options.profile) {
+    run_local = std::make_unique<Profiler>();
+    profiler = run_local.get();
+  }
+  if (profiler != nullptr) {
+    profiler->begin_run(stats.workers, sim.shard_count());
+  }
+  SpanBuffer* main_spans =
+      profiler == nullptr ? nullptr : profiler->main_buffer();
   if (stats.workers > 1) {
-    WorkerPool pool(sim, stats.workers);
+    WorkerPool pool(sim, stats.workers, profiler);
     for (;;) {
       // Skip-ahead: jump straight to the earliest pending activity and
       // run one window from there. Events at exactly `until` (and the
@@ -180,16 +228,32 @@ RunStats run(Simulator& sim, TimePoint until, const RunOptions& options) {
       const auto earliest = earliest_pending(sim);
       if (!earliest || *earliest >= until) break;
       const TimePoint target = std::min(until, *earliest + options.window);
+      ScopedSpan window_span(main_spans, SpanKind::window);
+      window_span.set_payload(stats.windows);
       pool.run_round(target);
       sim.advance_world_to(target);
+      window_span.close();
       ++stats.windows;
       if (options.audit || sim.audit_interval() != 0) sim.audit();
     }
     pool.shutdown();
   }
-  // Serial tail: boundary events at `until`, leftover envelopes, and
-  // the clock advance to exactly `until` — the classic executor.
-  sim.run_until(until);
+  {
+    // Serial tail: boundary events at `until`, leftover envelopes, and
+    // the clock advance to exactly `until` — the classic executor.
+    ScopedSpan tail(main_spans, SpanKind::serial_tail);
+    const std::uint64_t before =
+        profiler == nullptr ? 0 : sim.executed_events();
+    sim.run_until(until);
+    if (profiler != nullptr) {
+      tail.set_payload(sim.executed_events() - before);
+    }
+  }
+  if (profiler != nullptr) {
+    profiler->end_run();
+    stats.profile = profiler->summarize();
+    profiler->publish(sim.metrics());
+  }
   collect(sim, stats);
   return stats;
 }

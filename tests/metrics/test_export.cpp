@@ -81,6 +81,48 @@ TEST(MetricsExport, EscapesStrings) {
   EXPECT_NE(os.str().find("weird\\\"name"), std::string::npos);
 }
 
+TEST(MetricsExport, RuntimeNamespacePartition) {
+  EXPECT_TRUE(is_runtime_metric("runtime/windows"));
+  EXPECT_TRUE(is_runtime_metric("runtime/shard_busy_us"));
+  EXPECT_FALSE(is_runtime_metric("hb.sent"));
+  // Only the prefix counts — "runtime" must start the name.
+  EXPECT_FALSE(is_runtime_metric("app/runtime/foo"));
+  EXPECT_FALSE(is_runtime_metric("runtime_total"));
+}
+
+TEST(MetricsExport, DeterministicExportersDropRuntimeEntries) {
+  MetricsRegistry reg;
+  small_registry(reg);
+  reg.gauge("runtime/wall_us").set(123.0);
+  reg.counter("runtime/spans").inc(9);
+  const Snapshot snapshot = reg.snapshot();
+
+  // The deterministic JSON export is unchanged by the runtime entries:
+  // byte-identical to a registry that never had them.
+  MetricsRegistry clean;
+  std::ostringstream with_runtime, without_runtime;
+  export_json(snapshot, with_runtime);
+  export_json(small_registry(clean).snapshot(), without_runtime);
+  EXPECT_EQ(with_runtime.str(), without_runtime.str());
+
+  std::ostringstream csv;
+  export_csv(snapshot, csv);
+  EXPECT_EQ(csv.str().find("runtime/"), std::string::npos);
+}
+
+TEST(MetricsExport, RuntimeExporterCarriesOnlyRuntimeEntries) {
+  MetricsRegistry reg;
+  small_registry(reg);
+  reg.gauge("runtime/wall_us").set(123.0);
+  std::ostringstream os;
+  export_runtime_json(reg.snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("{\"schema\":\"d2dhb.metrics.runtime.v1\""), 0u);
+  EXPECT_NE(out.find("runtime/wall_us"), std::string::npos);
+  EXPECT_EQ(out.find("hb.sent"), std::string::npos);
+  EXPECT_EQ(out.find("battery"), std::string::npos);
+}
+
 TEST(MetricsExport, SnapshotExportIsReproducible) {
   // Two registries populated identically serialize byte-identically —
   // the per-run half of the thread-count determinism contract.

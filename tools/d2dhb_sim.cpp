@@ -39,6 +39,7 @@
 #include "scenario/crowd.hpp"
 #include "scenario/crowd_cli.hpp"
 #include "scenario/probes.hpp"
+#include "sim/profiler.hpp"
 
 namespace {
 
@@ -64,8 +65,48 @@ using namespace d2dhb::scenario;
       << "    --phones N --duration S --seed S --threads T\n"
       << "  traces     Fig. 6/7 current traces\n"
       << "  pair/crowd/baselines also take --metrics-out PATH (full\n"
-      << "  registry snapshot per arm; .csv extension switches to CSV)\n";
+      << "  registry snapshot per arm; .csv extension switches to CSV)\n"
+      << "  crowd/city also take --profile (engine runtime spans,\n"
+      << "  summary printed after the run) and --trace-out PATH\n"
+      << "  (Chrome trace-event JSON for Perfetto / chrome://tracing;\n"
+      << "  implies --profile; check or summarize it with trace_report)\n";
   std::exit(2);
+}
+
+/// Human summary of a profiled run — the quick look before opening the
+/// trace in Perfetto or running trace_report on it.
+void print_profile_summary(const sim::ProfileSummary& p) {
+  auto s = [](std::uint64_t ns) {
+    return Table::num(static_cast<double>(ns) / 1e9, 3);
+  };
+  std::cout << "\nEngine profile: " << p.workers << " worker"
+            << (p.workers == 1 ? "" : "s") << ", " << p.windows
+            << " windows\n"
+            << "  wall " << s(p.wall_ns) << " s (windowed "
+            << s(p.windowed_ns) << " s, serial tail "
+            << s(p.serial_tail_ns) << " s)\n"
+            << "  drain " << s(p.drain_ns) << " s, execute "
+            << s(p.execute_ns) << " s, barrier wait "
+            << s(p.barrier_wait_ns) << " s\n"
+            << "  window utilization "
+            << Table::num(100.0 * p.window_utilization, 1)
+            << "%, load imbalance " << Table::num(p.load_imbalance, 2)
+            << "\n  barrier waits (us): p50 "
+            << Table::num(p.barrier_wait_p50_us, 0) << ", p90 "
+            << Table::num(p.barrier_wait_p90_us, 0) << ", p99 "
+            << Table::num(p.barrier_wait_p99_us, 0) << ", max "
+            << Table::num(p.barrier_wait_max_us, 0) << " ("
+            << p.barrier_waits << " waits)\n";
+}
+
+/// Writes the Chrome trace when --trace-out was given.
+void maybe_write_trace(const std::optional<std::string>& path,
+                       const sim::Profiler& profiler) {
+  if (!path) return;
+  if (profiler.write_chrome_trace_file(*path)) {
+    std::cout << "trace written to " << *path
+              << " (Perfetto / chrome://tracing; see trace_report)\n";
+  }
 }
 
 /// Complains about any flag no parser consumed, then exits via usage().
@@ -153,9 +194,18 @@ int run_city_mode(CliFlags& flags, const char* argv0) {
   config.phones_per_cell = static_cast<std::size_t>(flags.number(
       "--phones-per-cell", static_cast<double>(config.phones_per_cell)));
   config.heap_agents = flags.has("--heap-agents");
+  config.profile = flags.has("--profile");
+  const auto trace_out = flags.value("--trace-out");
   config.seed = static_cast<std::uint64_t>(
       flags.number("--seed", static_cast<double>(config.seed)));
   check(flags, argv0);
+
+  // --trace-out needs the merged spans after the run, so the driver
+  // owns the recorder (a bare --profile would also work through the
+  // engine's run-local one, but one code path is plenty here).
+  sim::Profiler profiler;
+  const bool profiled = config.profile || trace_out.has_value();
+  if (profiled) config.profiler = &profiler;
 
   const CityMetrics m = run_city_crowd(config);
   Table table{{"Metric", "Value"}};
@@ -179,6 +229,10 @@ int run_city_mode(CliFlags& flags, const char* argv0) {
   table.add_row({"Peak RSS (MB)",
                  std::to_string(m.peak_rss_bytes / (1024 * 1024))});
   table.print(std::cout);
+  if (profiled) {
+    print_profile_summary(m.profile);
+    maybe_write_trace(trace_out, profiler);
+  }
   return 0;
 }
 
@@ -202,9 +256,15 @@ int run_crowd(CliFlags& flags, const char* argv0) {
   const auto seed_count =
       static_cast<std::size_t>(flags.number("--seeds", 1));
   const auto metrics_out = flags.value("--metrics-out");
+  const auto trace_out = flags.value("--trace-out");
   check(flags, argv0);
   if (seed_count == 0) {
     std::cerr << "--seeds must be >= 1\n";
+    usage(argv0);
+  }
+  if (trace_out) config.profile = true;
+  if (config.profile && seed_count > 1) {
+    std::cerr << "--profile/--trace-out record one run; use --seeds 1\n";
     usage(argv0);
   }
 
@@ -266,12 +326,26 @@ int run_crowd(CliFlags& flags, const char* argv0) {
     return 0;
   }
 
-  const runner::ExperimentRunner arms;
-  const auto cells = arms.run_jobs(2, [&](std::size_t i) {
-    return i == 0 ? run_original_crowd(config) : run_d2d_crowd(config);
-  });
-  const CrowdMetrics& orig = cells[0];
-  const CrowdMetrics& d2d = cells[1];
+  sim::Profiler profiler;
+  CrowdMetrics orig;
+  CrowdMetrics d2d;
+  if (config.profile) {
+    // Profiled: arms run sequentially — concurrent arm jobs would
+    // pollute the profiled arm's wall-clock spans — and only the d2d
+    // arm (the headline) carries the recorder.
+    CrowdConfig orig_config = config;
+    orig_config.profile = false;
+    orig = run_original_crowd(orig_config);
+    config.profiler = &profiler;
+    d2d = run_d2d_crowd(config);
+  } else {
+    const runner::ExperimentRunner arms;
+    auto cells = arms.run_jobs(2, [&](std::size_t i) {
+      return i == 0 ? run_original_crowd(config) : run_d2d_crowd(config);
+    });
+    orig = std::move(cells[0]);
+    d2d = std::move(cells[1]);
+  }
 
   Table table{{"Metric", "Original", "D2D framework"}};
   table.add_row({"Phones / relays",
@@ -301,6 +375,10 @@ int run_crowd(CliFlags& flags, const char* argv0) {
   if (config.operator_policy.has_value()) {
     std::cout << "\nOperator relay coverage: "
               << Table::num(100 * d2d.relay_coverage, 1) << "%\n";
+  }
+  if (config.profile) {
+    print_profile_summary(d2d.profile);
+    maybe_write_trace(trace_out, profiler);
   }
   maybe_write_metrics(metrics_out,
                       {{"original", orig.metrics}, {"d2d", d2d.metrics}});

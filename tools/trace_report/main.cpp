@@ -1,0 +1,73 @@
+// trace_report CLI: `trace_report [--check] <trace.json>`.
+//
+//   trace_report trace.json          print the full run report
+//   trace_report --check trace.json  validate only; exit 0/1, errors on
+//                                    stderr — the CI trace-smoke gate
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "trace_report/trace_report.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: trace_report [--check] <trace.json>\n"
+            << "  --check  validate the trace schema and exit 0/1 instead\n"
+            << "           of printing the report\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_report: unknown flag " << arg << "\n";
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "trace_report: more than one input file\n";
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  namespace tr = d2dhb::trace_report;
+  const tr::CheckResult check = tr::check_trace(text);
+  if (!check.ok) {
+    for (const std::string& error : check.errors) {
+      std::cerr << "trace_report: " << path << ": " << error << "\n";
+    }
+    return 1;
+  }
+  if (check_only) {
+    std::cout << path << ": ok (" << check.complete_events
+              << " complete events, " << check.metadata_events
+              << " metadata events)\n";
+    return 0;
+  }
+
+  const tr::Trace trace = tr::parse_trace(text);
+  tr::print_report(tr::analyze(trace), std::cout);
+  return 0;
+}
